@@ -1,0 +1,65 @@
+"""Fig. 11 bench: flow-based traffic control vs bufferbloat (§6.1.1)."""
+
+from repro.experiments import fig11
+from repro.metrics.stats import percentile
+
+
+def _late_voip_sojourn_ms(result):
+    values = [
+        s.rlc_sojourn_ms + s.tc_sojourn_ms
+        for s in result.sojourns
+        if s.flow == "voip" and s.time_s > 10.0
+    ]
+    return sum(values) / len(values)
+
+
+def test_fig11a_transparent(once, benchmark):
+    result = once(fig11.run_fig11, "transparent", 20.0)
+    benchmark.extra_info.update(
+        {
+            "figure": "11a",
+            "paper_shape": "VoIP inherits the greedy flow's sojourn (100s of ms)",
+            "voip_sojourn_ms_mean": round(_late_voip_sojourn_ms(result), 1),
+            "voip_rtt_p50_ms": round(percentile(result.voip_rtts_ms, 50), 1),
+        }
+    )
+    assert _late_voip_sojourn_ms(result) > 100.0
+
+
+def test_fig11b_xapp(once, benchmark):
+    result = once(fig11.run_fig11, "xapp", 20.0)
+    cubic_tc = [
+        s.tc_sojourn_ms
+        for s in result.sojourns
+        if s.flow == "cubic" and s.time_s > 10.0
+    ]
+    benchmark.extra_info.update(
+        {
+            "figure": "11b",
+            "paper_shape": "VoIP sojourn collapses; backlog moves to the TC queue",
+            "voip_sojourn_ms_mean": round(_late_voip_sojourn_ms(result), 1),
+            "cubic_tc_sojourn_ms_mean": round(sum(cubic_tc) / len(cubic_tc), 1),
+            "xapp_triggered_at_s": round((result.xapp_triggered_at_ms or 0) / 1000, 2),
+        }
+    )
+    assert _late_voip_sojourn_ms(result) < 30.0
+
+
+def test_fig11c_rtt_cdf(once, benchmark):
+    def both():
+        transparent = fig11.run_fig11("transparent", 20.0)
+        xapp = fig11.run_fig11("xapp", 20.0)
+        return transparent, xapp
+
+    transparent, xapp = once(both)
+    speedup = fig11.rtt_speedup(transparent, xapp)
+    benchmark.extra_info.update(
+        {
+            "figure": "11c",
+            "paper_speedup": "~4x",
+            "measured_speedup": round(speedup, 1),
+            "transparent_rtt_p50_ms": round(percentile(transparent.voip_rtts_ms, 50), 1),
+            "xapp_rtt_p50_ms": round(percentile(xapp.voip_rtts_ms, 50), 1),
+        }
+    )
+    assert speedup > 4.0

@@ -1,0 +1,39 @@
+"""Fig. 13 bench: RAT-unaware slicing controller (§6.1.2)."""
+
+from repro.experiments import fig13
+
+
+def test_fig13a_isolation(once, benchmark):
+    phases = once(fig13.run_fig13a, 3.0)
+    table = {
+        phase.phase: {f"ue{r}": round(m, 1) for r, m in sorted(phase.per_ue_mbps.items())}
+        for phase in phases
+    }
+    benchmark.extra_info.update(
+        {
+            "figure": "13a",
+            "phases_mbps": table,
+            "paper_shape": "t1 halves; t2 thirds; t3 white=50%; t4 white=66%",
+        }
+    )
+    by_phase = {p.phase: p for p in phases}
+    assert by_phase["t3/NVS"].per_ue_mbps[1] / by_phase["t3/NVS"].total_mbps > 0.45
+    assert by_phase["t4/NVS"].per_ue_mbps[1] / by_phase["t4/NVS"].total_mbps > 0.6
+
+
+def test_fig13b_sharing(once, benchmark):
+    def both():
+        static = fig13.run_fig13b("static", duration_s=40.0)
+        nvs = fig13.run_fig13b("nvs", duration_s=40.0)
+        return static, nvs
+
+    static, nvs = once(both)
+    gain = fig13.sharing_gain(static, nvs)
+    benchmark.extra_info.update(
+        {
+            "figure": "13b",
+            "paper_gain": "+50% for gray while black idle",
+            "measured_gain": round(gain, 2),
+        }
+    )
+    assert gain > 1.35

@@ -1,0 +1,32 @@
+"""Fig. 15 bench: recursive slicing over shared infrastructure (§6.2)."""
+
+from repro.experiments import fig15
+
+
+def test_fig15a_dedicated(once, benchmark):
+    series = once(fig15.run_dedicated, 45.0)
+    a_busy = series[1].mean_between(13, 19) + series[2].mean_between(13, 19)
+    a_idle_b = series[1].mean_between(34, 41) + series[2].mean_between(34, 41)
+    benchmark.extra_info.update(
+        {
+            "figure": "15a",
+            "operator_a_mbps_b_busy": round(a_busy, 1),
+            "operator_a_mbps_b_idle": round(a_idle_b, 1),
+            "paper_shape": "dedicated cells waste the idle operator's spectrum",
+        }
+    )
+    assert abs(a_idle_b - a_busy) / a_busy < 0.15
+
+
+def test_fig15b_shared(once, benchmark):
+    series = once(fig15.run_shared, 45.0)
+    benchmark.extra_info.update(
+        {
+            "figure": "15b",
+            "isolation": round(fig15.isolation_check(series), 3),
+            "multiplexing_gain": round(fig15.multiplexing_gain(series), 2),
+            "paper_shape": "B unaffected by A's re-slicing; gain up to 100%",
+        }
+    )
+    assert 0.95 < fig15.isolation_check(series) < 1.05
+    assert fig15.multiplexing_gain(series) > 1.8

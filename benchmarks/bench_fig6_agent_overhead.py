@@ -1,0 +1,69 @@
+"""Fig. 6 bench: agent CPU overhead in the user plane (§5.1).
+
+Regenerates both panels: the radio-deployment bars (6a) and the
+CPU-versus-UE-count curves on the L2 simulator (6b).
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6a_flexric_lte(once, benchmark):
+    result = once(
+        fig6.run_flexric_radio, fig6.LTE_CELL_5MHZ, 3, 28, 0.5
+    )
+    benchmark.extra_info.update(
+        {
+            "figure": "6a",
+            "config": "LTE 25RB 3UE, FlexRIC agent",
+            "paper_agent_pct": 0.68,
+            "paper_bs_pct": 6.55,
+            "measured_agent_pct": round(result.agent_cpu_percent, 3),
+            "measured_bs_pct": round(result.bs_cpu_percent, 3),
+        }
+    )
+    assert result.agent_cpu_percent < result.bs_cpu_percent
+
+
+def test_fig6a_flexran_lte(once, benchmark):
+    result = once(
+        fig6.run_flexran_radio, fig6.LTE_CELL_5MHZ, 3, 28, 0.5
+    )
+    benchmark.extra_info.update(
+        {
+            "figure": "6a",
+            "config": "LTE 25RB 3UE, FlexRAN agent",
+            "paper_agent_pct": 0.49,
+            "measured_agent_pct": round(result.agent_cpu_percent, 3),
+        }
+    )
+
+
+def test_fig6a_flexric_nr(once, benchmark):
+    result = once(
+        fig6.run_flexric_radio, fig6.NR_CELL_20MHZ, 3, 20, 0.5
+    )
+    benchmark.extra_info.update(
+        {
+            "figure": "6a",
+            "config": "NR 106RB 3UE, FlexRIC agent",
+            "paper_agent_pct": 0.05,
+            "paper_bs_pct": 8.66,
+            "measured_agent_pct": round(result.agent_cpu_percent, 3),
+            "measured_bs_pct": round(result.bs_cpu_percent, 3),
+        }
+    )
+
+
+def test_fig6b_l2sim_sweep(once, benchmark):
+    points = once(fig6.run_fig6b, [0, 8, 16, 32], 0.3)
+    series = {}
+    for point in points:
+        series.setdefault(point.variant, {})[point.n_ues] = round(point.cpu_percent, 2)
+    benchmark.extra_info.update(
+        {
+            "figure": "6b",
+            "series_cpu_pct": series,
+            "paper_shape": "FlexRIC at/below FlexRAN, gap grows with UEs",
+        }
+    )
+    assert series["flexric"][32] < series["flexran"][32]

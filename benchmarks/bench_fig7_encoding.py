@@ -1,0 +1,84 @@
+"""Fig. 7 bench: E2AP/E2SM encoding impact on RTT and signaling (§5.2).
+
+The per-combination RTT benchmarks measure the *encode + decode* path
+directly (the component the sockets add constant noise to); the
+end-to-end socket RTT and the signaling table are regenerated once.
+"""
+
+import pytest
+
+from repro.core.codec.base import get_codec
+from repro.core.e2ap.ies import RicRequestId
+from repro.core.e2ap.messages import RicControlRequest, decode_message, encode_message
+from repro.experiments import fig7
+from repro.sm import hw
+
+COMBINATIONS = fig7.COMBINATIONS
+
+
+def _exchange(e2ap: str, e2sm: str, payload_len: int):
+    codec = get_codec(e2ap)
+    payload = hw.build_ping(1, b"x" * payload_len, e2sm)
+    message = RicControlRequest(
+        request=RicRequestId(1, 1),
+        ran_function_id=hw.INFO.default_function_id,
+        payload=payload,
+    )
+    data = encode_message(message, codec)
+
+    def roundtrip():
+        encoded = encode_message(message, codec)
+        decoded = decode_message(encoded, codec)
+        hw.parse_ping(bytes(decoded.payload), e2sm)
+
+    return roundtrip, len(data)
+
+
+@pytest.mark.parametrize("payload_len", [100, 1500])
+@pytest.mark.parametrize("e2ap,e2sm", COMBINATIONS, ids=["asn-asn", "asn-fb", "fb-asn", "fb-fb"])
+def test_fig7a_codec_path(benchmark, e2ap, e2sm, payload_len):
+    roundtrip, wire_bytes = _exchange(e2ap, e2sm, payload_len)
+    benchmark(roundtrip)
+    benchmark.extra_info.update(
+        {
+            "figure": "7a",
+            "combination": f"{e2ap}/{e2sm}",
+            "payload_B": payload_len,
+            "wire_bytes": wire_bytes,
+            "paper_shape": "fb/fb fastest; asn cost grows with payload",
+        }
+    )
+
+
+def test_fig7a_socket_rtt(once, benchmark):
+    results = once(fig7.run_rtt_sweep, 15)
+    table = {
+        f"{r.label}@{r.payload}B": round(r.summary.p50, 1) for r in results
+    }
+    benchmark.extra_info.update(
+        {
+            "figure": "7a (socket)",
+            "rtt_p50_us": table,
+            "paper_rtt_us": {
+                "asn/asn@100B": 180, "fb/fb@100B": 135,
+                "asn/asn@1500B": 300, "fb/fb@1500B": 105,
+            },
+        }
+    )
+
+
+def test_fig7b_signaling(once, benchmark):
+    rows = once(fig7.run_signaling_sweep)
+    table = {f"{row['label']}@{row['payload']}B": round(row["mbps"], 2) for row in rows}
+    benchmark.extra_info.update(
+        {
+            "figure": "7b",
+            "signaling_mbps": table,
+            "paper_mbps": {
+                "asn/asn@100B": 1.2, "asn/fb@100B": 1.8, "fb/asn@100B": 1.4,
+                "fb/fb@100B": 2.0, "FlexRAN@100B": 0.94,
+                "asn/asn@1500B": 12.4, "fb/fb@1500B": 13.2, "FlexRAN@1500B": 12.2,
+            },
+        }
+    )
+    assert table["fb/fb@100B"] / table["asn/asn@100B"] > 1.3

@@ -1,0 +1,79 @@
+"""Fig. 8 bench: controller scalability (§5.3)."""
+
+import pytest
+
+from repro.experiments import fig8
+
+
+def test_fig8a_flexric_controller(once, benchmark):
+    result = once(fig8.run_flexric_controller, 300)
+    benchmark.extra_info.update(
+        {
+            "figure": "8a",
+            "side": "FlexRIC",
+            "paper_cpu_pct": 0.18,
+            "paper_mem_mb": 124,
+            "measured_cpu_pct": round(result.cpu_percent, 3),
+            "measured_mem_mb": round(result.memory_mb, 3),
+        }
+    )
+
+
+def test_fig8a_flexran_controller(once, benchmark):
+    result = once(fig8.run_flexran_controller, 300)
+    benchmark.extra_info.update(
+        {
+            "figure": "8a",
+            "side": "FlexRAN",
+            "paper_cpu_pct": 1.88,
+            "paper_mem_mb": 375,
+            "measured_cpu_pct": round(result.cpu_percent, 3),
+            "measured_mem_mb": round(result.memory_mb, 3),
+        }
+    )
+
+
+def test_fig8a_ratios(once, benchmark):
+    def compare():
+        flexric = fig8.run_flexric_controller(reports=200)
+        flexran = fig8.run_flexran_controller(reports=200)
+        return flexran.cpu_percent / flexric.cpu_percent, flexran.memory_mb / max(
+            flexric.memory_mb, 1e-9
+        )
+
+    cpu_ratio, mem_ratio = once(compare)
+    benchmark.extra_info.update(
+        {
+            "figure": "8a",
+            "paper_cpu_ratio": 10.4,
+            "paper_mem_ratio": 3.0,
+            "measured_cpu_ratio": round(cpu_ratio, 1),
+            "measured_mem_ratio": round(mem_ratio, 1),
+        }
+    )
+    assert cpu_ratio > 5.0
+
+
+@pytest.mark.parametrize("codec", ["asn", "fb"])
+def test_fig8b_scaling(once, benchmark, codec):
+    def sweep():
+        return [
+            fig8.run_fig8b_point(codec, n_agents, reports=40)
+            for n_agents in (2, 6, 10, 14, 18)
+        ]
+
+    points = once(sweep)
+    benchmark.extra_info.update(
+        {
+            "figure": "8b",
+            "e2ap_codec": codec,
+            "cpu_pct_by_agents": {p.n_agents: round(p.cpu_percent, 2) for p in points},
+            "signaling_mbps_by_agents": {
+                p.n_agents: round(p.signaling_mbps, 0) for p in points
+            },
+            "paper_shape": "linear; asn ~4x fb; ~700 Mbps near 18 agents",
+        }
+    )
+    # Linearity: 18 agents cost roughly 9x of 2 agents (within 2x slack).
+    ratio = points[-1].cpu_percent / points[0].cpu_percent
+    assert 4.0 < ratio < 18.0

@@ -1,0 +1,63 @@
+"""Fig. 9 bench: comparison to the O-RAN RIC (§5.4)."""
+
+import pytest
+
+from repro.experiments import fig9
+
+
+@pytest.mark.parametrize("payload", [100, 1500])
+def test_fig9a_flexric_two_hop(once, benchmark, payload):
+    result = once(fig9.run_flexric_two_hop, "fb", payload, 15)
+    benchmark.extra_info.update(
+        {
+            "figure": "9a",
+            "side": f"FlexRIC fb/fb @{payload}B",
+            "measured_rtt_p50_us": round(result.summary.p50, 1),
+        }
+    )
+
+
+@pytest.mark.parametrize("payload", [100, 1500])
+def test_fig9a_oran_two_hop(once, benchmark, payload):
+    result = once(fig9.run_oran_two_hop, payload, 15)
+    benchmark.extra_info.update(
+        {
+            "figure": "9a",
+            "side": f"O-RAN RIC @{payload}B",
+            "paper_rtt_us": "~1000 (at least 2-3x FlexRIC)",
+            "measured_rtt_p50_us": round(result.summary.p50, 1),
+        }
+    )
+
+
+def test_fig9a_ratio(once, benchmark):
+    def compare():
+        flexric = fig9.run_flexric_two_hop("fb", 1500, pings=15)
+        oran = fig9.run_oran_two_hop(1500, pings=15)
+        return oran.summary.p50 / flexric.summary.p50
+
+    ratio = once(compare)
+    benchmark.extra_info.update(
+        {"figure": "9a", "paper_min_ratio_1500B": 2.0, "measured_ratio": round(ratio, 2)}
+    )
+    assert ratio > 2.0
+
+
+def test_fig9b_monitoring(once, benchmark):
+    flexric, oran = once(fig9.run_fig9b, 6, 80)
+    benchmark.extra_info.update(
+        {
+            "figure": "9b",
+            "paper": {"flexric_cpu_pct": 4.4, "oran_cpu_pct": 25.9,
+                      "flexric_mem_mb": 1.8, "oran_mem_mb": 1024},
+            "measured": {
+                "flexric_cpu_pct": round(flexric.cpu_percent, 2),
+                "oran_cpu_pct": round(oran.cpu_percent, 2),
+                "oran_xapp_cpu_pct": round(oran.xapp_cpu_percent, 2),
+                "flexric_mem_mb": round(flexric.memory_mb, 2),
+                "oran_mem_mb": round(oran.memory_mb, 1),
+            },
+        }
+    )
+    assert oran.cpu_percent > 5.0 * flexric.cpu_percent
+    assert oran.memory_mb > 900.0

@@ -1,0 +1,17 @@
+"""Table 2 bench: deployment footprint (§5.4)."""
+
+from repro.experiments import table2
+
+
+def test_table2_footprint(once, benchmark):
+    rows = once(table2.run_table2)
+    benchmark.extra_info.update(
+        {
+            "table": "2",
+            "rows_mb": {row.component: round(row.modelled_mb, 1) for row in rows},
+            "paper_mb": {row.component: row.paper_mb for row in rows},
+            "platform_to_flexric_ratio": round(table2.platform_to_flexric_ratio(), 1),
+        }
+    )
+    for row in rows:
+        assert abs(row.modelled_mb - row.paper_mb) / row.paper_mb < 0.05

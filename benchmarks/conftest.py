@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper (scaled
+down where the full experiment takes minutes) and records the headline
+numbers in ``benchmark.extra_info`` so the JSON output carries the
+paper-versus-measured comparison.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    machine_info["experiment_suite"] = "flexric-reproduction"
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fighting bufferbloat with the traffic-control xApp (paper §6.1.1).
+
+Scenario: a VoIP call (G.711, 172 B every 20 ms) shares one UE's
+bearer with a greedy TCP-Cubic download.  Without intervention the
+Cubic flow bloats the RLC buffer and the VoIP frames inherit hundreds
+of milliseconds of queueing delay.
+
+The traffic controller (Table 3 of the paper) forwards RLC statistics
+over a Redis-like broker to the bufferbloat xApp; when the sojourn time
+crosses the threshold, the xApp — through the TC service model —
+creates a second FIFO queue, installs a 5-tuple filter for the VoIP
+flow, loads the 5G-BDP pacer and a round-robin scheduler.
+
+Run:  python examples/traffic_control_xapp.py
+"""
+
+from repro.controllers.traffic import BufferbloatXapp, TrafficControllerIApp
+from repro.core.server import Server, ServerConfig
+from repro.core.simclock import SimClock
+from repro.core.transport import InProcTransport
+from repro.metrics.stats import percentile
+from repro.northbound.broker import Broker
+from repro.ran.base_station import BaseStation, BaseStationConfig, attach_agent
+from repro.traffic import CubicFlow, DeliveryHub, FiveTuple, VoipFlow
+
+
+def run(mode: str) -> VoipFlow:
+    clock = SimClock()
+    bs = BaseStation(BaseStationConfig(), clock)
+    transport = InProcTransport()
+    broker = Broker()
+
+    if mode == "xapp":
+        server = Server(ServerConfig(e2ap_codec="fb"))
+        server.listen(transport, "ric")
+        iapp = TrafficControllerIApp(broker, sm_codec="fb", stats_period_ms=100.0)
+        server.add_iapp(iapp)
+        agent = attach_agent(bs, transport, e2ap_codec="fb", sm_codec="fb")
+        agent.connect("ric")
+
+    bs.attach_ue(1, fixed_mcs=20)
+    bs.start()
+
+    voip = VoipFlow(clock, sink=lambda p: bs.deliver_downlink(1, p))
+    cubic = CubicFlow(clock, sink=lambda p: bs.deliver_downlink(1, p))
+    hub = DeliveryHub()
+    bs.rlc_of(1).on_delivered = hub
+    hub.register(voip.flow, voip.on_delivered)
+    hub.register(cubic.flow, cubic.on_delivered)
+
+    xapp = None
+    if mode == "xapp":
+        xapp = BufferbloatXapp(iapp, low_latency_flow=voip.flow, threshold_ms=20.0)
+
+    voip.start()
+    clock.call_at(5.0, cubic.start)  # the download starts 5 s in
+    clock.run_until(30.0)
+
+    if xapp is not None and xapp.triggered:
+        print(f"  xApp acted at t={xapp.actions.triggered_at_ms / 1000:.2f} s "
+              f"(queue+filter+pacer+RR installed)")
+    return voip
+
+
+def main() -> None:
+    print("--- transparent mode: VoIP shares the bloated RLC buffer ---")
+    transparent = run("transparent")
+    p50_t = percentile(transparent.rtts_ms[len(transparent.rtts_ms) // 3:], 50)
+    print(f"  VoIP RTT p50 (congested window): {p50_t:.0f} ms")
+
+    print("--- xApp mode: TC SM segregates and paces the flows ---")
+    controlled = run("xapp")
+    p50_x = percentile(controlled.rtts_ms[len(controlled.rtts_ms) // 3:], 50)
+    print(f"  VoIP RTT p50 (congested window): {p50_x:.0f} ms")
+
+    print(f"=> the xApp made the VoIP flow {p50_t / p50_x:.1f}x faster "
+          f"(the paper's Fig. 11c reports ~4x)")
+    assert p50_t / p50_x > 4.0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Baseline SD-RAN controllers the paper compares against.
+
+* :mod:`repro.baselines.flexran` — FlexRAN (Foukas et al., CoNEXT'16):
+  custom Protobuf south-bound protocol without double encoding, a
+  fully-materialized RAN information base (RIB), and applications that
+  **poll** for updates instead of being event-driven (§2, §5.1-5.3).
+* :mod:`repro.baselines.oran` — the O-RAN reference RIC ("Cherry"):
+  micro-service architecture with an E2 termination, RMR-style message
+  routing, 15 platform components, and xApps — imposing two message
+  hops and a double decode of every indication (§5.4).
+"""

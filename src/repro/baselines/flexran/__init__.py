@@ -1,0 +1,26 @@
+"""FlexRAN baseline: Protobuf protocol, RIB storage, polling apps."""
+
+from repro.baselines.flexran.protocol import (
+    MSG_ECHO_REPLY,
+    MSG_ECHO_REQUEST,
+    MSG_HELLO,
+    MSG_STATS_CONFIG,
+    MSG_STATS_REPORT,
+    decode_flexran,
+    encode_flexran,
+)
+from repro.baselines.flexran.agent import FlexRanAgent
+from repro.baselines.flexran.controller import FlexRanController, Rib
+
+__all__ = [
+    "MSG_ECHO_REPLY",
+    "MSG_ECHO_REQUEST",
+    "MSG_HELLO",
+    "MSG_STATS_CONFIG",
+    "MSG_STATS_REPORT",
+    "decode_flexran",
+    "encode_flexran",
+    "FlexRanAgent",
+    "FlexRanController",
+    "Rib",
+]

@@ -1,0 +1,94 @@
+"""FlexRAN agent baseline.
+
+Exports the combined MAC+RLC+PDCP statistics every period in one
+Protobuf message ("in both cases, we enable all statistics for MAC,
+RLC, and PDCP (excluding HARQ), covering approximately the same data",
+§5.1).  Unlike the FlexRIC agent there is no subscription machinery:
+the controller pushes a single stats configuration and the agent
+streams from then on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.baselines.flexran import protocol
+from repro.core.simclock import PeriodicTask, SimClock
+from repro.core.transport.base import Endpoint, Transport, TransportEvents
+from repro.metrics.cpu import CpuMeter
+
+#: Providers return the full stats tree for their sublayer.
+Provider = Callable[[], object]
+
+
+class FlexRanAgent:
+    """Baseline agent: one controller, one streaming stats pipe."""
+
+    def __init__(
+        self,
+        agent_id: int,
+        transport: Transport,
+        mac_provider: Provider,
+        rlc_provider: Provider,
+        pdcp_provider: Provider,
+        clock: Optional[SimClock] = None,
+        cpu_meter: Optional[CpuMeter] = None,
+        rat: str = "lte",
+    ) -> None:
+        self.agent_id = agent_id
+        self.transport = transport
+        self.mac_provider = mac_provider
+        self.rlc_provider = rlc_provider
+        self.pdcp_provider = pdcp_provider
+        self.clock = clock
+        self.cpu = cpu_meter or CpuMeter(f"flexran-agent-{agent_id}")
+        self.rat = rat
+        self._endpoint: Optional[Endpoint] = None
+        self._task: Optional[PeriodicTask] = None
+        self._tick = 0
+        self.reports_sent = 0
+
+    def connect(self, address: str) -> None:
+        self._endpoint = self.transport.connect(
+            address, TransportEvents(on_message=self._on_message)
+        )
+        self._endpoint.send(protocol.hello(self.agent_id, self.rat, 0))
+
+    def disconnect(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+        if self._endpoint is not None and not self._endpoint.closed:
+            self._endpoint.close()
+
+    def _on_message(self, endpoint: Endpoint, data: bytes) -> None:
+        with self.cpu.measure():
+            msg_type, body = protocol.decode_flexran(data)
+            if msg_type == protocol.MSG_STATS_CONFIG:
+                self._configure(body["period_ms"])
+            elif msg_type == protocol.MSG_ECHO_REQUEST:
+                reply = protocol.echo_reply(body["seq"], body["data"])
+                endpoint.send(reply)
+
+    def _configure(self, period_ms: float) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+        if self.clock is not None and period_ms > 0:
+            self._task = self.clock.call_every(period_ms / 1000.0, self.pump)
+
+    def pump(self) -> None:
+        """Encode and send one full stats report (wall-clock mode)."""
+        if self._endpoint is None or self._endpoint.closed:
+            return
+        self._tick += 1
+        with self.cpu.measure():
+            report = protocol.stats_report(
+                self.agent_id,
+                mac=self.mac_provider(),
+                rlc=self.rlc_provider(),
+                pdcp=self.pdcp_provider(),
+                tick=self._tick,
+            )
+        self._endpoint.send(report)
+        self.reports_sent += 1

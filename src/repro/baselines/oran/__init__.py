@@ -1,0 +1,32 @@
+"""O-RAN reference RIC baseline ("Cherry" release model).
+
+Reproduces the architectural cost structure the paper measures in §5.4:
+
+* **two hops** for every message: agent <-> E2 termination <-> xApp,
+* **double decode**: E2AP messages are decoded at the E2 termination
+  *and* again at the xApp,
+* **RMR-style routing** between platform components, with its own
+  header encode/decode on every hop,
+* **15 platform components**, each a container in the real deployment,
+  modelled here with their image sizes (Table 2) and baseline RAM, and
+* **database polling**: xApps discover agents by polling the RNIB.
+"""
+
+from repro.baselines.oran.platform import PLATFORM_COMPONENTS, PlatformComponent
+from repro.baselines.oran.rmr import RmrEndpoint, RmrMessage, RmrRouter
+from repro.baselines.oran.e2term import E2Termination
+from repro.baselines.oran.xapp import HwXapp, OranXapp, StatsXapp
+from repro.baselines.oran.ric import OranRic
+
+__all__ = [
+    "PLATFORM_COMPONENTS",
+    "PlatformComponent",
+    "RmrEndpoint",
+    "RmrMessage",
+    "RmrRouter",
+    "E2Termination",
+    "HwXapp",
+    "OranXapp",
+    "StatsXapp",
+    "OranRic",
+]

@@ -1,0 +1,139 @@
+"""Monitoring controller: subscribe-and-store statistics iApp.
+
+The Fig. 8 workload: "a statistics iApp that saves incoming messages to
+an in-memory data structure, similar to FlexRAN".  The store keeps the
+*raw* SM payload bytes plus the cheap header scalars — decoding happens
+only when a consumer asks (:meth:`StatsStore.latest_decoded`), which is
+the event-driven/lazy design the paper contrasts with FlexRAN's
+poll-and-decode loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.core.e2ap.ies import RicActionDefinition, RicActionKind
+from repro.core.server.iapp import IApp
+from repro.core.server.randb import AgentRecord
+from repro.core.server.submgr import SubscriptionCallbacks
+from repro.sm.base import PeriodicTrigger, decode_payload
+
+
+@dataclass
+class StoredIndication:
+    """One stored indication: header scalars + raw payload bytes."""
+
+    conn_id: int
+    ran_function_id: int
+    sequence: int
+    payload: bytes
+
+
+class StatsStore:
+    """Bounded in-memory store of indications, keyed by (conn, oid)."""
+
+    def __init__(self, history: int = 16) -> None:
+        self.history = history
+        self._data: Dict[Tuple[int, str], Deque[StoredIndication]] = {}
+        self.total_stored = 0
+
+    def put(self, conn_id: int, oid: str, item: StoredIndication) -> None:
+        key = (conn_id, oid)
+        bucket = self._data.get(key)
+        if bucket is None:
+            bucket = deque(maxlen=self.history)
+            self._data[key] = bucket
+        bucket.append(item)
+        self.total_stored += 1
+
+    def latest(self, conn_id: int, oid: str) -> Optional[StoredIndication]:
+        bucket = self._data.get((conn_id, oid))
+        return bucket[-1] if bucket else None
+
+    def latest_decoded(self, conn_id: int, oid: str, sm_codec: str) -> Optional[Any]:
+        """Decode the newest payload on demand (lazy consumption)."""
+        item = self.latest(conn_id, oid)
+        if item is None:
+            return None
+        return decode_payload(item.payload, sm_codec)
+
+    def series(self, conn_id: int, oid: str) -> List[StoredIndication]:
+        return list(self._data.get((conn_id, oid), ()))
+
+    def keys(self) -> List[Tuple[int, str]]:
+        return sorted(self._data)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._data.values())
+
+
+class StatsMonitorIApp(IApp):
+    """Subscribes to statistics SMs on every connecting agent.
+
+    ``oids`` lists the service models of interest; a periodic report
+    subscription is sent for each matching RAN function as soon as an
+    agent announces it (the event-driven pattern of §4.2.2).
+    """
+
+    name = "stats-monitor"
+
+    def __init__(
+        self,
+        oids: List[str],
+        period_ms: float = 1.0,
+        sm_codec: str = "fb",
+        store: Optional[StatsStore] = None,
+    ) -> None:
+        super().__init__()
+        self.oids = list(oids)
+        self.period_ms = period_ms
+        self.sm_codec = sm_codec
+        self.store = store or StatsStore()
+        self.indications_received = 0
+        self.subscriptions_confirmed = 0
+        self._oid_by_request: Dict[Tuple[int, int], Tuple[int, str]] = {}
+
+    def on_attached(self) -> None:
+        self.server.memory.track("stats-store", lambda: self.store)
+
+    def on_agent_connected(self, agent: AgentRecord) -> None:
+        for oid in self.oids:
+            item = agent.function_by_oid(oid)
+            if item is None:
+                continue
+            trigger = PeriodicTrigger(self.period_ms).to_bytes(self.sm_codec)
+            actions = [RicActionDefinition(action_id=1, kind=RicActionKind.REPORT)]
+            record = self.server.subscribe(
+                conn_id=agent.conn_id,
+                ran_function_id=item.ran_function_id,
+                event_trigger=trigger,
+                actions=actions,
+                callbacks=SubscriptionCallbacks(
+                    on_success=lambda response: self._confirmed(),
+                    on_indication=self._store_indication,
+                ),
+            )
+            self._oid_by_request[record.request.as_tuple()] = (agent.conn_id, oid)
+
+    def _confirmed(self) -> None:
+        self.subscriptions_confirmed += 1
+
+    def _store_indication(self, event) -> None:
+        self.indications_received += 1
+        key = (event.requestor_id, event.instance_id)
+        conn_oid = self._oid_by_request.get(key)
+        if conn_oid is None:
+            return
+        conn_id, oid = conn_oid
+        self.store.put(
+            conn_id,
+            oid,
+            StoredIndication(
+                conn_id=conn_id,
+                ran_function_id=event.ran_function_id,
+                sequence=event.sequence,
+                payload=event.payload,
+            ),
+        )

@@ -1,0 +1,18 @@
+"""FlexRIC SDK core: E2AP abstraction, codecs, transport, agent and server.
+
+This package is the paper's primary contribution.  It mirrors the
+structure of the C SDK described in Sections 3-4:
+
+* :mod:`repro.core.e2ap` — intermediate representation of E2AP
+  procedures, independent of encoding and transport (§4.3).
+* :mod:`repro.core.codec` — pluggable encoding schemes: an ASN.1
+  aligned-PER-style codec, a FlatBuffers-style codec and a
+  Protobuf-style codec used by the FlexRAN baseline (§4.3, §5.2).
+* :mod:`repro.core.transport` — the transport wrapper that abstracts
+  SCTP; here a message-framed TCP transport plus an in-process loopback.
+* :mod:`repro.core.agent` — the agent library (§4.1): generic RAN
+  function API and multi-controller support.
+* :mod:`repro.core.server` — the server library (§4.2): event-driven
+  message multiplexing, RAN management/RANDB, subscription management,
+  and the iApp interface.
+"""

@@ -1,0 +1,32 @@
+"""FlexRIC agent library (§4.1).
+
+Extends a base station with E2 connectivity:
+
+* :mod:`repro.core.agent.ran_function` — the generic RAN function API
+  (subscription / subscription-delete / control callbacks) custom
+  service models implement,
+* :mod:`repro.core.agent.agent` — the agent itself: E2 setup, message
+  handling, dispatch to RAN functions,
+* :mod:`repro.core.agent.multi_controller` — management of additional
+  controllers and the UE-to-controller association (§4.1.2).
+"""
+
+from repro.core.agent.ran_function import (
+    ControlOutcome,
+    IndicationSink,
+    RanFunction,
+    SubscriptionHandle,
+)
+from repro.core.agent.multi_controller import ControllerRegistry, UeControllerMap
+from repro.core.agent.agent import Agent, AgentConfig
+
+__all__ = [
+    "ControlOutcome",
+    "IndicationSink",
+    "RanFunction",
+    "SubscriptionHandle",
+    "ControllerRegistry",
+    "UeControllerMap",
+    "Agent",
+    "AgentConfig",
+]

@@ -1,0 +1,354 @@
+"""The FlexRIC agent (§4.1.1).
+
+Wires a base station's RAN functions to one or more controllers:
+
+* performs the E2 setup procedure on connect, advertising the node
+  identity and registered RAN functions,
+* decodes incoming E2AP messages through the configured outer codec
+  and dispatches them to RAN functions via the generic API,
+* implements :class:`IndicationSink` so RAN functions emit indications
+  without touching encoding or transport,
+* manages additional controllers (E2 connection update) and the
+  UE-to-controller association.
+
+CPU spent in the agent (encode/decode/dispatch) is charged to an
+optional :class:`~repro.metrics.cpu.CpuMeter`, which is how Fig. 6
+separates agent overhead from base-station load.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.codec.base import Codec, get_codec
+from repro.core.e2ap.ies import GlobalE2NodeId, RanFunctionItem, RicRequestId
+from repro.core.e2ap.messages import (
+    E2ConnectionUpdate,
+    E2ConnectionUpdateAcknowledge,
+    E2Message,
+    E2SetupFailure,
+    E2SetupRequest,
+    E2SetupResponse,
+    ErrorIndication,
+    ResetRequest,
+    ResetResponse,
+    RicControlAcknowledge,
+    RicControlFailure,
+    RicControlRequest,
+    RicIndication,
+    RicSubscriptionDeleteFailure,
+    RicSubscriptionDeleteRequest,
+    RicSubscriptionDeleteResponse,
+    RicSubscriptionRequest,
+    RicSubscriptionResponse,
+    RicServiceQuery,
+    RicServiceUpdate,
+    decode_message,
+    encode_message,
+)
+from repro.core.e2ap.procedures import Cause
+from repro.core.agent.multi_controller import ControllerRegistry, UeControllerMap
+from repro.core.agent.ran_function import IndicationSink, RanFunction, SubscriptionHandle
+from repro.core.transport.base import Endpoint, Transport, TransportEvents
+from repro.metrics.cpu import CpuMeter
+
+
+@dataclass
+class AgentConfig:
+    """Static agent configuration.
+
+    ``e2ap_codec`` picks the outer encoding (``"asn"`` or ``"fb"``,
+    §4.3); setup timeout applies to socket transports only.
+    """
+
+    node_id: GlobalE2NodeId
+    e2ap_codec: str = "fb"
+    setup_timeout_s: float = 5.0
+
+
+class Agent(IndicationSink):
+    """E2 agent: the base-station side of the FlexRIC SDK."""
+
+    def __init__(
+        self,
+        config: AgentConfig,
+        transport: Transport,
+        cpu_meter: Optional[CpuMeter] = None,
+    ) -> None:
+        self.config = config
+        self.transport = transport
+        self.codec: Codec = get_codec(config.e2ap_codec)
+        self.cpu = cpu_meter or CpuMeter(f"agent-{config.node_id.label}")
+        self.controllers = ControllerRegistry()
+        self.ue_map = UeControllerMap()
+        self._functions: Dict[int, RanFunction] = {}
+        self._endpoints: Dict[int, Endpoint] = {}
+        self._setup_done: Dict[int, threading.Event] = {}
+        self._setup_ok: Dict[int, bool] = {}
+        #: called when a controller asks this agent to attach elsewhere.
+        self.on_connection_update: Optional[Callable[[E2ConnectionUpdate], None]] = None
+
+    # -- RAN function registration ------------------------------------
+
+    def register_function(self, function: RanFunction) -> None:
+        """Add a RAN function; its id must be unique within the node."""
+        if function.ran_function_id in self._functions:
+            raise ValueError(f"duplicate RAN function id {function.ran_function_id}")
+        function.bind(self)
+        self._functions[function.ran_function_id] = function
+
+    def functions(self) -> List[RanFunction]:
+        return list(self._functions.values())
+
+    def get_function(self, ran_function_id: int) -> Optional[RanFunction]:
+        return self._functions.get(ran_function_id)
+
+    # -- controller connections ---------------------------------------
+
+    def connect(self, address: str) -> int:
+        """Attach to a controller and run E2 setup.
+
+        Returns the controller *origin* index.  Raises
+        ``ConnectionError`` if setup is refused or times out.
+        """
+        origin = self.connect_async(address)
+        done = self._setup_done[origin]
+        if not done.wait(self.config.setup_timeout_s):
+            raise ConnectionError(f"E2 setup timed out towards {address}")
+        if not self._setup_ok[origin]:
+            raise ConnectionError(f"E2 setup refused by {address}")
+        return origin
+
+    def connect_async(self, address: str) -> int:
+        """Start attaching to a controller without waiting for setup.
+
+        Used where blocking would deadlock the dispatch context — e.g.
+        handling an E2 connection update *inside* a message callback
+        (§4.1.2): the setup exchange completes once the current
+        dispatch returns.
+        """
+        link = self.controllers.add(address)
+        origin = link.origin
+        self._setup_done[origin] = threading.Event()
+        self._setup_ok[origin] = False
+
+        events = TransportEvents(
+            on_connected=lambda endpoint: self._send_setup(origin, endpoint),
+            on_message=lambda endpoint, data: self._handle(origin, endpoint, data),
+            on_disconnected=lambda endpoint: self._disconnected(origin),
+        )
+        endpoint = self.transport.connect(address, events)
+        self._endpoints[origin] = endpoint
+        return origin
+
+    def disconnect(self, origin: int) -> None:
+        endpoint = self._endpoints.pop(origin, None)
+        if endpoint is not None and not endpoint.closed:
+            endpoint.close()
+        self.controllers.remove(origin)
+
+    def _disconnected(self, origin: int) -> None:
+        self._endpoints.pop(origin, None)
+        self.controllers.remove(origin)
+
+    def _send_setup(self, origin: int, endpoint: Endpoint) -> None:
+        items = [
+            RanFunctionItem(
+                ran_function_id=function.ran_function_id,
+                definition=function.definition_bytes(),
+                revision=function.revision,
+                oid=function.oid,
+            )
+            for function in self._functions.values()
+        ]
+        request = E2SetupRequest(node_id=self.config.node_id, ran_functions=items)
+        endpoint.send(encode_message(request, self.codec))
+
+    def announce_config(self, origin: int, config: Dict[str, str]) -> None:
+        """Report a node-level configuration change (E2 node config
+        update procedure); the server stores it in the RANDB."""
+        from repro.core.e2ap.messages import E2NodeConfigurationUpdate
+
+        self._send(
+            origin,
+            E2NodeConfigurationUpdate(node_id=self.config.node_id, config=dict(config)),
+        )
+
+    def announce_error(self, origin: int, cause: Cause, ran_function_id: Optional[int] = None) -> None:
+        """Raise an E2AP error indication towards a controller."""
+        self._send(origin, ErrorIndication(cause=cause, ran_function_id=ran_function_id))
+
+    def announce_function_update(self, origin: int, added: List[RanFunction]) -> None:
+        """Send a RIC service update for functions added at runtime."""
+        update = RicServiceUpdate(
+            added=[
+                RanFunctionItem(
+                    ran_function_id=function.ran_function_id,
+                    definition=function.definition_bytes(),
+                    revision=function.revision,
+                    oid=function.oid,
+                )
+                for function in added
+            ]
+        )
+        self._send(origin, update)
+
+    # -- IndicationSink -------------------------------------------------
+
+    def send_indication(self, origin: int, indication: RicIndication) -> None:
+        self._send(origin, indication)
+
+    def _send(self, origin: int, message: E2Message) -> None:
+        endpoint = self._endpoints.get(origin)
+        if endpoint is None or endpoint.closed:
+            raise ConnectionError(f"no live connection for origin {origin}")
+        with self.cpu.measure():
+            data = encode_message(message, self.codec)
+        endpoint.send(data)
+
+    # -- message handling ----------------------------------------------
+
+    def _handle(self, origin: int, endpoint: Endpoint, data: bytes) -> None:
+        with self.cpu.measure():
+            message = decode_message(data, self.codec)
+            reply = self._dispatch(origin, message)
+            if reply is not None:
+                endpoint.send(encode_message(reply, self.codec))
+
+    def _dispatch(self, origin: int, message: E2Message) -> Optional[E2Message]:
+        if isinstance(message, E2SetupResponse):
+            self._setup_ok[origin] = True
+            self._setup_done[origin].set()
+            return None
+        if isinstance(message, E2SetupFailure):
+            self._setup_ok[origin] = False
+            self._setup_done[origin].set()
+            return None
+        if isinstance(message, RicSubscriptionRequest):
+            return self._handle_subscription(origin, message)
+        if isinstance(message, RicSubscriptionDeleteRequest):
+            return self._handle_subscription_delete(origin, message)
+        if isinstance(message, RicControlRequest):
+            return self._handle_control(origin, message)
+        if isinstance(message, E2ConnectionUpdate):
+            return self._handle_connection_update(message)
+        if isinstance(message, RicServiceQuery):
+            return self._handle_service_query(message)
+        if isinstance(message, ResetRequest):
+            self._reset()
+            return ResetResponse()
+        return ErrorIndication(
+            cause=Cause.protocol(Cause.UNSPECIFIED, f"unhandled {type(message).__name__}")
+        )
+
+    def _handle_subscription(
+        self, origin: int, message: RicSubscriptionRequest
+    ) -> E2Message:
+        function = self._functions.get(message.ran_function_id)
+        handle = SubscriptionHandle(
+            origin=origin,
+            request=message.request,
+            ran_function_id=message.ran_function_id,
+        )
+        if function is None:
+            return RicSubscriptionFailureFactory(message, "no such RAN function")
+        admitted, not_admitted = function.on_subscription(
+            handle, message.event_trigger, message.actions
+        )
+        return RicSubscriptionResponse(
+            request=message.request,
+            ran_function_id=message.ran_function_id,
+            admitted=admitted,
+            not_admitted=not_admitted,
+        )
+
+    def _handle_subscription_delete(
+        self, origin: int, message: RicSubscriptionDeleteRequest
+    ) -> E2Message:
+        function = self._functions.get(message.ran_function_id)
+        handle = SubscriptionHandle(
+            origin=origin,
+            request=message.request,
+            ran_function_id=message.ran_function_id,
+        )
+        if function is None or not function.on_subscription_delete(handle):
+            return RicSubscriptionDeleteFailure(
+                request=message.request,
+                ran_function_id=message.ran_function_id,
+                cause=Cause.ric_request(Cause.REQUEST_ID_UNKNOWN),
+            )
+        return RicSubscriptionDeleteResponse(
+            request=message.request, ran_function_id=message.ran_function_id
+        )
+
+    def _handle_control(self, origin: int, message: RicControlRequest) -> Optional[E2Message]:
+        function = self._functions.get(message.ran_function_id)
+        if function is None:
+            return RicControlFailure(
+                request=message.request,
+                ran_function_id=message.ran_function_id,
+                cause=Cause.ric_request(Cause.RAN_FUNCTION_ID_INVALID),
+            )
+        outcome = function.on_control(origin, message.header, message.payload)
+        if not message.ack_requested and outcome.success:
+            return None
+        if outcome.success:
+            return RicControlAcknowledge(
+                request=message.request,
+                ran_function_id=message.ran_function_id,
+                outcome=outcome.outcome,
+            )
+        return RicControlFailure(
+            request=message.request,
+            ran_function_id=message.ran_function_id,
+            cause=outcome.cause or Cause.ric_request(Cause.UNSPECIFIED),
+        )
+
+    def _handle_service_query(self, message) -> E2Message:
+        """Answer a RIC service query with the function inventory.
+
+        Functions the RIC already knows are omitted; everything else is
+        (re)announced as added."""
+        known = set(message.known_functions)
+        added = [
+            RanFunctionItem(
+                ran_function_id=function.ran_function_id,
+                definition=function.definition_bytes(),
+                revision=function.revision,
+                oid=function.oid,
+            )
+            for function in self._functions.values()
+            if function.ran_function_id not in known
+        ]
+        return RicServiceUpdate(added=added)
+
+    def _handle_connection_update(self, message: E2ConnectionUpdate) -> E2Message:
+        connected = []
+        for tnl in message.add:
+            # Non-blocking: we are inside a message callback; waiting for
+            # the new setup here would deadlock single-threaded dispatch.
+            self.connect_async(
+                tnl.address if not tnl.port else f"{tnl.address}:{tnl.port}"
+            )
+            connected.append(tnl)
+        if self.on_connection_update is not None:
+            self.on_connection_update(message)
+        return E2ConnectionUpdateAcknowledge(connected=connected)
+
+    def _reset(self) -> None:
+        for function in self._functions.values():
+            for key in list(function.subscriptions):
+                function.on_subscription_delete(function.subscriptions[key])
+
+
+def RicSubscriptionFailureFactory(message: RicSubscriptionRequest, detail: str):
+    """Build a subscription failure mirroring ``message``'s ids."""
+    from repro.core.e2ap.messages import RicSubscriptionFailure
+
+    return RicSubscriptionFailure(
+        request=message.request,
+        ran_function_id=message.ran_function_id,
+        cause=Cause.ric_request(Cause.RAN_FUNCTION_ID_INVALID, detail),
+    )

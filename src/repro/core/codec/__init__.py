@@ -1,0 +1,50 @@
+"""Pluggable encoding schemes over a generic value model.
+
+The paper identifies the encoding/decoding algorithm as an orthogonal
+abstraction of E2 (§4.3) and supports both ASN.1 PER and Google
+FlatBuffers, selectable independently for the outer E2AP layer and the
+inner E2SM layer.  This package reproduces that design:
+
+* every message lowers to a *generic value tree* (dict/list/scalars),
+* a :class:`~repro.core.codec.base.Codec` turns trees into bytes and back,
+* codecs register by name in a global registry so new schemes can be
+  added without touching the SDK (forward compatibility, §4.3).
+
+Three codecs ship, matching the cost models measured in the paper:
+
+======== ====================== ==========================================
+name     modelled after         cost profile
+======== ====================== ==========================================
+``asn``  ASN.1 aligned PER      compact wire size; bit-level work on both
+                                encode and decode
+``fb``   Google FlatBuffers     +30-40 B fixed overhead; cheap encode;
+                                lazy zero-copy reads instead of decode
+``pb``   Protocol Buffers       between the two (FlexRAN baseline)
+======== ====================== ==========================================
+"""
+
+from repro.core.codec.base import (
+    Codec,
+    CodecError,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from repro.core.codec.bitio import BitReader, BitWriter
+from repro.core.codec.per import PerCodec
+from repro.core.codec.flat import FlatCodec, FlatView
+from repro.core.codec.protobuf import ProtobufCodec
+
+__all__ = [
+    "Codec",
+    "CodecError",
+    "available_codecs",
+    "get_codec",
+    "register_codec",
+    "BitReader",
+    "BitWriter",
+    "PerCodec",
+    "FlatCodec",
+    "FlatView",
+    "ProtobufCodec",
+]

@@ -1,0 +1,164 @@
+"""Bit-level reader/writer used by the PER-style codec.
+
+ASN.1 aligned PER packs values at bit granularity, aligning to octet
+boundaries only around length-prefixed fields.  These helpers reproduce
+that access pattern: every write/read touches individual bits, which is
+what makes PER compact on the wire but comparatively CPU-expensive —
+the trade-off at the center of the paper's Section 5.2.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Append-only bit buffer.
+
+    Bits are written most-significant first within each octet, matching
+    PER conventions.
+
+    Example:
+        >>> w = BitWriter()
+        >>> w.write_bits(0b101, 3)
+        >>> w.align()
+        >>> w.getvalue()
+        b'\\xa0'
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._bitpos = 0  # bits used in the last byte, 0..7
+
+    def write_bit(self, bit: int) -> None:
+        """Append one bit (0 or 1)."""
+        if self._bitpos == 0:
+            self._buffer.append(0)
+        if bit:
+            self._buffer[-1] |= 0x80 >> self._bitpos
+        self._bitpos = (self._bitpos + 1) & 7
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of non-negative ``value``, MSB first."""
+        if width < 0:
+            raise ValueError(f"negative width: {width}")
+        if value < 0:
+            raise ValueError(f"negative value: {value}")
+        if width and value >> width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def align(self) -> None:
+        """Pad with zero bits to the next octet boundary."""
+        while self._bitpos != 0:
+            self.write_bit(0)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole octets (aligns first, as PER does for strings)."""
+        self.align()
+        self._buffer.extend(data)
+
+    def write_varlen(self, length: int) -> None:
+        """PER-style length determinant.
+
+        * < 128: one octet, top bit clear.
+        * < 16384: two octets, top bits ``10``.
+        * otherwise: ``11`` marker octet followed by a 4-octet length
+          (a simplification of PER fragmentation, adequate for E2AP
+          message sizes).
+        """
+        if length < 0:
+            raise ValueError(f"negative length: {length}")
+        self.align()
+        if length < 0x80:
+            self._buffer.append(length)
+        elif length < 0x4000:
+            self._buffer.append(0x80 | (length >> 8))
+            self._buffer.append(length & 0xFF)
+        else:
+            self._buffer.append(0xC0)
+            self._buffer.extend(length.to_bytes(4, "big"))
+
+    def write_unsigned(self, value: int) -> None:
+        """Minimal-octet unsigned integer with a length determinant."""
+        if value < 0:
+            raise ValueError(f"negative value: {value}")
+        octets = (value.bit_length() + 7) // 8 or 1
+        self.write_varlen(octets)
+        self.write_bytes(value.to_bytes(octets, "big"))
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written."""
+        if not self._buffer:
+            return 0
+        tail = self._bitpos if self._bitpos else 8
+        return (len(self._buffer) - 1) * 8 + tail
+
+    def getvalue(self) -> bytes:
+        """The packed buffer; the final partial octet is zero-padded."""
+        return bytes(self._buffer)
+
+
+class BitReader:
+    """Sequential bit reader mirroring :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._byte = 0
+        self._bit = 0
+
+    def read_bit(self) -> int:
+        if self._byte >= len(self._data):
+            raise EOFError("bit stream exhausted")
+        bit = (self._data[self._byte] >> (7 - self._bit)) & 1
+        self._bit += 1
+        if self._bit == 8:
+            self._bit = 0
+            self._byte += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits, MSB first, as a non-negative int."""
+        if width < 0:
+            raise ValueError(f"negative width: {width}")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def align(self) -> None:
+        """Skip to the next octet boundary."""
+        if self._bit != 0:
+            self._bit = 0
+            self._byte += 1
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read ``count`` whole octets (aligning first)."""
+        self.align()
+        end = self._byte + count
+        if end > len(self._data):
+            raise EOFError(f"need {count} octets, have {len(self._data) - self._byte}")
+        chunk = self._data[self._byte:end]
+        self._byte = end
+        return chunk
+
+    def read_varlen(self) -> int:
+        """Inverse of :meth:`BitWriter.write_varlen`."""
+        self.align()
+        first = self.read_bytes(1)[0]
+        if first < 0x80:
+            return first
+        if first & 0x40 == 0:
+            second = self.read_bytes(1)[0]
+            return ((first & 0x3F) << 8) | second
+        return int.from_bytes(self.read_bytes(4), "big")
+
+    def read_unsigned(self) -> int:
+        """Inverse of :meth:`BitWriter.write_unsigned`."""
+        octets = self.read_varlen()
+        return int.from_bytes(self.read_bytes(octets), "big")
+
+    @property
+    def exhausted(self) -> bool:
+        """True once all complete octets have been consumed."""
+        return self._byte >= len(self._data)

@@ -1,0 +1,200 @@
+"""E2AP information elements shared across messages.
+
+Each IE lowers to the generic value tree via ``to_value`` and rebuilds
+via ``from_value``; short single-letter keys keep the PER-style wire
+size close to a schema-driven encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import List, Mapping
+
+
+class NodeKind(IntEnum):
+    """What kind of E2 node an agent fronts (disaggregation, §4.1.1)."""
+
+    ENB = 0     # monolithic 4G
+    GNB = 1     # monolithic 5G
+    CU = 2      # centralized unit
+    DU = 3      # distributed unit
+    CU_CP = 4   # CU control plane
+    CU_UP = 5   # CU user plane
+
+
+@dataclass(frozen=True)
+class GlobalE2NodeId:
+    """Identity of an E2 node.
+
+    ``plmn`` is the public land mobile network the node serves (e.g.
+    ``"00101"``); ``nb_id`` identifies the base station; for
+    disaggregated deployments ``nb_id`` is shared between the CU and DU
+    parts of one logical base station, which is what lets the server's
+    RAN management merge them into one RAN entity (§4.2.2).
+    """
+
+    plmn: str
+    nb_id: int
+    kind: NodeKind = NodeKind.GNB
+
+    def to_value(self) -> dict:
+        return {"p": self.plmn, "n": self.nb_id, "k": int(self.kind)}
+
+    @classmethod
+    def from_value(cls, value: Mapping) -> "GlobalE2NodeId":
+        return cls(plmn=value["p"], nb_id=value["n"], kind=NodeKind(value["k"]))
+
+    @property
+    def label(self) -> str:
+        return f"{self.plmn}/{self.nb_id}/{self.kind.name}"
+
+
+@dataclass(frozen=True)
+class RanFunctionItem:
+    """Descriptor of one RAN function exposed by an E2 node.
+
+    ``definition`` carries the service-model self-description (already
+    SM-encoded bytes — the double-encoding structure of E2), ``oid`` the
+    service-model object identifier used by controllers to recognize
+    functions they understand.
+    """
+
+    ran_function_id: int
+    definition: bytes
+    revision: int = 1
+    oid: str = ""
+
+    def to_value(self) -> dict:
+        return {
+            "i": self.ran_function_id,
+            "d": self.definition,
+            "r": self.revision,
+            "o": self.oid,
+        }
+
+    @classmethod
+    def from_value(cls, value: Mapping) -> "RanFunctionItem":
+        return cls(
+            ran_function_id=value["i"],
+            definition=value["d"],
+            revision=value["r"],
+            oid=value["o"],
+        )
+
+
+@dataclass(frozen=True)
+class RicRequestId:
+    """Identifies a subscription/control transaction.
+
+    ``requestor_id`` names the requesting application within the
+    controller; ``instance_id`` disambiguates parallel requests from
+    the same requestor.
+    """
+
+    requestor_id: int
+    instance_id: int
+
+    def to_value(self) -> dict:
+        return {"r": self.requestor_id, "i": self.instance_id}
+
+    @classmethod
+    def from_value(cls, value: Mapping) -> "RicRequestId":
+        return cls(requestor_id=value["r"], instance_id=value["i"])
+
+    def as_tuple(self) -> tuple:
+        return (self.requestor_id, self.instance_id)
+
+
+class RicActionKind(IntEnum):
+    """The four E2SM service kinds (Appendix A.3)."""
+
+    REPORT = 0
+    INSERT = 1
+    CONTROL = 2
+    POLICY = 3
+
+
+@dataclass(frozen=True)
+class RicActionDefinition:
+    """One action requested within a subscription.
+
+    ``definition`` is SM-encoded bytes describing what to report or
+    which policy to install; ``subsequent`` indicates whether the RAN
+    should continue after an insert (wait/continue semantics).
+    """
+
+    action_id: int
+    kind: RicActionKind
+    definition: bytes = b""
+    subsequent: bool = True
+
+    def to_value(self) -> dict:
+        return {
+            "a": self.action_id,
+            "k": int(self.kind),
+            "d": self.definition,
+            "s": self.subsequent,
+        }
+
+    @classmethod
+    def from_value(cls, value: Mapping) -> "RicActionDefinition":
+        return cls(
+            action_id=value["a"],
+            kind=RicActionKind(value["k"]),
+            definition=value["d"],
+            subsequent=value["s"],
+        )
+
+
+@dataclass(frozen=True)
+class RicActionAdmitted:
+    """Outcome entry for an admitted action."""
+
+    action_id: int
+
+    def to_value(self) -> dict:
+        return {"a": self.action_id}
+
+    @classmethod
+    def from_value(cls, value: Mapping) -> "RicActionAdmitted":
+        return cls(action_id=value["a"])
+
+
+@dataclass(frozen=True)
+class RicActionNotAdmitted:
+    """Outcome entry for a rejected action, with the rejection cause."""
+
+    action_id: int
+    cause_kind: int
+    cause_value: int
+
+    def to_value(self) -> dict:
+        return {"a": self.action_id, "k": self.cause_kind, "v": self.cause_value}
+
+    @classmethod
+    def from_value(cls, value: Mapping) -> "RicActionNotAdmitted":
+        return cls(action_id=value["a"], cause_kind=value["k"], cause_value=value["v"])
+
+
+@dataclass(frozen=True)
+class TnlInformation:
+    """Transport-network-layer endpoint for E2 connection updates."""
+
+    address: str
+    port: int
+
+    def to_value(self) -> dict:
+        return {"a": self.address, "p": self.port}
+
+    @classmethod
+    def from_value(cls, value: Mapping) -> "TnlInformation":
+        return cls(address=value["a"], port=value["p"])
+
+
+def functions_to_value(items: List[RanFunctionItem]) -> list:
+    return [item.to_value() for item in items]
+
+
+def functions_from_value(value) -> List[RanFunctionItem]:
+    return [RanFunctionItem.from_value(item) for item in value]

@@ -1,0 +1,35 @@
+"""FlexRIC server library (§4.2.2).
+
+Multiplexes agent connections and dispatches E2AP messages to internal
+applications (iApps) through an event-driven/callback system — never by
+polling (the design difference versus FlexRAN the paper quantifies in
+Fig. 8a):
+
+* :mod:`repro.core.server.events` — the callback/event bus,
+* :mod:`repro.core.server.randb` — the RAN database: node inventory and
+  CU/DU merging into RAN entities,
+* :mod:`repro.core.server.submgr` — subscription tracking and
+  indication dispatch,
+* :mod:`repro.core.server.iapp` — the iApp interface,
+* :mod:`repro.core.server.server` — the server core tying it together.
+"""
+
+from repro.core.server.events import EventBus
+from repro.core.server.randb import AgentRecord, RanDatabase, RanEntity
+from repro.core.server.submgr import SubscriptionCallbacks, SubscriptionManager, SubscriptionRecord
+from repro.core.server.iapp import IApp
+from repro.core.server.server import IndicationEvent, Server, ServerConfig
+
+__all__ = [
+    "EventBus",
+    "AgentRecord",
+    "RanDatabase",
+    "RanEntity",
+    "SubscriptionCallbacks",
+    "SubscriptionManager",
+    "SubscriptionRecord",
+    "IApp",
+    "IndicationEvent",
+    "Server",
+    "ServerConfig",
+]

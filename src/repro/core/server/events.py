@@ -1,0 +1,66 @@
+"""Event bus for the server library.
+
+The RAN management functionality publishes connection-related events
+("an application that subscribed for new agent connections uses the
+included information to send a subscription if it encounters suitable
+RAN functions", §4.2.2).  Topics are plain strings; handlers are
+callables receiving the event payload.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, DefaultDict, List
+
+Handler = Callable[[Any], None]
+
+#: Topic published when an agent completes E2 setup (payload: AgentRecord).
+AGENT_CONNECTED = "agent_connected"
+#: Topic published when an agent connection drops (payload: AgentRecord).
+AGENT_DISCONNECTED = "agent_disconnected"
+#: Topic published when a RAN entity becomes complete, i.e. all parts of
+#: a disaggregated base station are present (payload: RanEntity).
+RAN_FORMED = "ran_formed"
+#: Topic published when an agent adds RAN functions at runtime
+#: (payload: (AgentRecord, list[RanFunctionItem])).
+FUNCTIONS_UPDATED = "functions_updated"
+#: Topic published when an agent reports a node configuration change
+#: (payload: (AgentRecord, E2NodeConfigurationUpdate)).
+NODE_CONFIG_UPDATED = "node_config_updated"
+#: Topic published when an agent raises an E2AP error indication
+#: (payload: (AgentRecord | None, ErrorIndication)).
+ERROR_INDICATED = "error_indicated"
+
+
+class EventBus:
+    """Minimal synchronous publish/subscribe dispatcher.
+
+    Handlers run inline in publication order; an unsubscribed topic
+    publish is a no-op.  Handler exceptions propagate — iApps are
+    trusted platform code and a silent swallow would hide bugs.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: DefaultDict[str, List[Handler]] = defaultdict(list)
+
+    def subscribe(self, topic: str, handler: Handler) -> Callable[[], None]:
+        """Register ``handler``; returns an unsubscribe thunk."""
+        self._handlers[topic].append(handler)
+
+        def unsubscribe() -> None:
+            try:
+                self._handlers[topic].remove(handler)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, topic: str, payload: Any) -> int:
+        """Invoke every handler for ``topic``; returns handler count."""
+        handlers = list(self._handlers.get(topic, ()))
+        for handler in handlers:
+            handler(payload)
+        return len(handlers)
+
+    def handler_count(self, topic: str) -> int:
+        return len(self._handlers.get(topic, ()))

@@ -1,0 +1,53 @@
+"""iApp interface (§4.2.1).
+
+Internal applications implement specific controller behaviour —
+"either directly through SMs within the iApps themselves, or by
+providing platform services that can be leveraged by xApps".  An iApp
+attaches to a :class:`~repro.core.server.server.Server` and receives
+lifecycle callbacks; everything else (subscribing, controlling) goes
+through the server API it is handed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.server.randb import AgentRecord, RanEntity
+    from repro.core.server.server import Server
+
+
+class IApp:
+    """Base class for internal applications.
+
+    Override the lifecycle hooks of interest; ``self.server`` is set
+    by :meth:`attach` before any hook runs.
+    """
+
+    #: human-readable name used in diagnostics and specialization tables.
+    name: str = "iapp"
+
+    def __init__(self) -> None:
+        self.server: Optional["Server"] = None
+
+    def attach(self, server: "Server") -> None:
+        """Bind to a server; called once by ``Server.add_iapp``."""
+        self.server = server
+        self.on_attached()
+
+    # -- lifecycle hooks ----------------------------------------------
+
+    def on_attached(self) -> None:
+        """Server is available; register event handlers here."""
+
+    def on_agent_connected(self, agent: "AgentRecord") -> None:
+        """A new agent completed E2 setup."""
+
+    def on_agent_disconnected(self, agent: "AgentRecord") -> None:
+        """An agent connection dropped (subscriptions already purged)."""
+
+    def on_ran_formed(self, entity: "RanEntity") -> None:
+        """All parts of a disaggregated base station are connected."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

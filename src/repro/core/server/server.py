@@ -1,0 +1,423 @@
+"""FlexRIC server core (§4.2.2).
+
+Multiplexes agent connections and dispatches E2AP messages between
+agents and iApps.  Design properties carried over from the paper:
+
+* **event-driven** — iApps are invoked only when messages arrive,
+  never by polling;
+* **stateless indication path** — an indication is routed by a single
+  O(1) lookup on its request id; with the FlatBuffers-style codec the
+  id is read zero-copy from the raw bytes (no decode pass);
+* **no SM logic** — the server implements no service model and never
+  requests information by itself; iApps trigger all SM communication.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.codec.base import Codec, get_codec
+from repro.core.e2ap.ies import RicActionDefinition, RicRequestId
+from repro.core.e2ap.messages import (
+    E2Message,
+    E2SetupRequest,
+    E2SetupResponse,
+    RicControlAcknowledge,
+    RicControlFailure,
+    RicControlRequest,
+    RicIndication,
+    RicIndicationKind,
+    RicServiceUpdate,
+    RicServiceUpdateAcknowledge,
+    RicSubscriptionDeleteRequest,
+    RicSubscriptionDeleteResponse,
+    RicSubscriptionFailure,
+    RicSubscriptionRequest,
+    RicSubscriptionResponse,
+    decode_message,
+    encode_message,
+)
+from repro.core.e2ap.procedures import MessageClass, ProcedureCode
+from repro.core.server import events as topics
+from repro.core.server.events import EventBus
+from repro.core.server.iapp import IApp
+from repro.core.server.randb import AgentRecord, RanDatabase, RanEntity
+from repro.core.server.submgr import (
+    SubscriptionCallbacks,
+    SubscriptionManager,
+    SubscriptionRecord,
+)
+from repro.core.transport.base import Endpoint, Listener, Transport, TransportEvents
+from repro.metrics.cpu import CpuMeter
+from repro.metrics.memory import MemoryMeter
+
+
+@dataclass
+class ServerConfig:
+    """Static server configuration.
+
+    ``indication_workers`` enables the multi-thread extension of §4.4:
+    "given that the handling of indication messages in the server
+    library is stateless, it is possible to pass messages to different
+    threads, facilitated by the event-based system".  0 (default)
+    dispatches inline on the transport thread — the paper's
+    single-threaded implementation; N > 0 hands each indication to a
+    worker pool (POSIX sockets being thread-safe, replies may be sent
+    from any worker).
+    """
+
+    ric_id: int = 1
+    e2ap_codec: str = "fb"
+    indication_workers: int = 0
+
+
+class IndicationEvent:
+    """Lazy view of a RIC indication delivered to an iApp.
+
+    Header fields (request id, function id, action, sequence) are read
+    from the already-available value tree; the SM ``payload`` bytes are
+    extracted only when accessed.  With the FlatBuffers-style E2AP
+    codec the underlying tree is itself lazy, so routing an indication
+    touches a handful of scalars — the paper's zero-copy dispatch.
+    """
+
+    __slots__ = ("conn_id", "_body", "_payload", "_header")
+
+    def __init__(self, conn_id: int, body: Any) -> None:
+        self.conn_id = conn_id
+        self._body = body
+        self._payload: Optional[bytes] = None
+        self._header: Optional[bytes] = None
+
+    @property
+    def requestor_id(self) -> int:
+        return self._body["q"]["r"]
+
+    @property
+    def instance_id(self) -> int:
+        return self._body["q"]["i"]
+
+    @property
+    def request(self) -> RicRequestId:
+        return RicRequestId(self.requestor_id, self.instance_id)
+
+    @property
+    def ran_function_id(self) -> int:
+        return self._body["f"]
+
+    @property
+    def action_id(self) -> int:
+        return self._body["a"]
+
+    @property
+    def sequence(self) -> int:
+        return self._body["s"]
+
+    @property
+    def kind(self) -> RicIndicationKind:
+        return RicIndicationKind(self._body["k"])
+
+    @property
+    def header(self) -> bytes:
+        if self._header is None:
+            self._header = self._body["h"]
+        return self._header
+
+    @property
+    def payload(self) -> bytes:
+        if self._payload is None:
+            self._payload = self._body["m"]
+        return self._payload
+
+    def full(self) -> RicIndication:
+        """Materialize the complete dataclass (tests, relays)."""
+        return RicIndication.from_value(self._body)
+
+
+@dataclass
+class _ConnState:
+    """Server-side state of one agent connection."""
+
+    conn_id: int
+    endpoint: Endpoint
+    record: Optional[AgentRecord] = None  # set after E2 setup
+
+
+class Server:
+    """The controller side of the FlexRIC SDK."""
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        cpu_meter: Optional[CpuMeter] = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.codec: Codec = get_codec(self.config.e2ap_codec)
+        self.cpu = cpu_meter or CpuMeter(f"server-{self.config.ric_id}")
+        self.memory = MemoryMeter(f"server-{self.config.ric_id}")
+        self.events = EventBus()
+        self.randb = RanDatabase()
+        self.submgr = SubscriptionManager()
+        self._iapps: List[IApp] = []
+        self._conns: Dict[int, _ConnState] = {}
+        self._conn_ids = itertools.count(1)
+        self._by_endpoint: Dict[int, _ConnState] = {}
+        self._pending_controls: Dict[Tuple[int, int], Callable[[E2Message], None]] = {}
+        #: (conn_id, ErrorIndication) pairs received from agents.
+        self.errors_seen: List[Tuple[int, E2Message]] = []
+        self._control_instances = itertools.count(1)
+        self._listeners: List[Listener] = []
+        self._lock = threading.Lock()
+        self._pool = None
+        if self.config.indication_workers > 0:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.indication_workers,
+                thread_name_prefix="ind-worker",
+            )
+        self.memory.track("randb", lambda: self.randb)
+        self.memory.track("submgr", lambda: self.submgr)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def listen(self, transport: Transport, address: str) -> Listener:
+        """Accept agent connections on ``address``."""
+        listener = transport.listen(
+            address,
+            TransportEvents(
+                on_connected=self._on_connected,
+                on_message=self._on_message,
+                on_disconnected=self._on_disconnected,
+            ),
+        )
+        self._listeners.append(listener)
+        return listener
+
+    def add_iapp(self, iapp: IApp) -> None:
+        """Attach an internal application."""
+        self._iapps.append(iapp)
+        iapp.attach(self)
+
+    def iapps(self) -> List[IApp]:
+        return list(self._iapps)
+
+    def close(self) -> None:
+        for listener in self._listeners:
+            listener.close()
+        for state in list(self._conns.values()):
+            if not state.endpoint.closed:
+                state.endpoint.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    # -- iApp-facing API -------------------------------------------------
+
+    def subscribe(
+        self,
+        conn_id: int,
+        ran_function_id: int,
+        event_trigger: bytes,
+        actions: List[RicActionDefinition],
+        callbacks: SubscriptionCallbacks,
+        requestor_id: Optional[int] = None,
+    ) -> SubscriptionRecord:
+        """Send a subscription request on behalf of an iApp/xApp."""
+        record = self.submgr.create(
+            conn_id=conn_id,
+            ran_function_id=ran_function_id,
+            callbacks=callbacks,
+            actions=actions,
+            requestor_id=requestor_id,
+        )
+        request = RicSubscriptionRequest(
+            request=record.request,
+            ran_function_id=ran_function_id,
+            event_trigger=event_trigger,
+            actions=actions,
+        )
+        self._send(conn_id, request)
+        return record
+
+    def unsubscribe(self, record: SubscriptionRecord) -> None:
+        """Request deletion of an existing subscription."""
+        message = RicSubscriptionDeleteRequest(
+            request=record.request, ran_function_id=record.ran_function_id
+        )
+        self._send(record.conn_id, message)
+
+    def control(
+        self,
+        conn_id: int,
+        ran_function_id: int,
+        header: bytes,
+        payload: bytes,
+        on_outcome: Optional[Callable[[E2Message], None]] = None,
+        ack_requested: bool = True,
+        requestor_id: int = 1,
+    ) -> RicRequestId:
+        """Send a control request; ``on_outcome`` receives ack/failure."""
+        request = RicRequestId(
+            requestor_id=requestor_id, instance_id=next(self._control_instances)
+        )
+        if on_outcome is not None:
+            self._pending_controls[request.as_tuple()] = on_outcome
+        message = RicControlRequest(
+            request=request,
+            ran_function_id=ran_function_id,
+            header=header,
+            payload=payload,
+            ack_requested=ack_requested,
+        )
+        self._send(conn_id, message)
+        return request
+
+    def agents(self) -> List[AgentRecord]:
+        return self.randb.agents()
+
+    def entity_of(self, conn_id: int) -> Optional[RanEntity]:
+        record = self.randb.agent(conn_id)
+        if record is None:
+            return None
+        return self.randb.entity(record.node_id.plmn, record.node_id.nb_id)
+
+    def send_to_agent(self, conn_id: int, message: E2Message) -> None:
+        """Escape hatch for relays/virtualization layers."""
+        self._send(conn_id, message)
+
+    # -- transport events ----------------------------------------------
+
+    def _on_connected(self, endpoint: Endpoint) -> None:
+        state = _ConnState(conn_id=next(self._conn_ids), endpoint=endpoint)
+        with self._lock:
+            self._conns[state.conn_id] = state
+            self._by_endpoint[id(endpoint)] = state
+
+    def _on_disconnected(self, endpoint: Endpoint) -> None:
+        with self._lock:
+            state = self._by_endpoint.pop(id(endpoint), None)
+            if state is not None:
+                self._conns.pop(state.conn_id, None)
+        if state is None or state.record is None:
+            return
+        self.submgr.drop_conn(state.conn_id)
+        self.randb.remove_agent(state.conn_id)
+        self.events.publish(topics.AGENT_DISCONNECTED, state.record)
+        for iapp in self._iapps:
+            iapp.on_agent_disconnected(state.record)
+
+    def _on_message(self, endpoint: Endpoint, data: bytes) -> None:
+        state = self._by_endpoint.get(id(endpoint))
+        if state is None:
+            return
+        with self.cpu.measure():
+            tree = self.codec.decode(data)
+            procedure = tree["p"]
+            msg_class = tree["c"]
+            if procedure == int(ProcedureCode.RIC_INDICATION):
+                # Hot path: route on header scalars only.  Handling is
+                # stateless, so it may run on a worker thread (§4.4).
+                event = IndicationEvent(state.conn_id, tree["v"])
+                if self._pool is not None:
+                    self._pool.submit(self.submgr.deliver_indication, event)
+                else:
+                    self.submgr.deliver_indication(event)
+                return
+            self._handle_slow_path(state, procedure, msg_class, tree["v"])
+
+    def _handle_slow_path(
+        self, state: _ConnState, procedure: int, msg_class: int, body: Any
+    ) -> None:
+        if procedure == int(ProcedureCode.E2_SETUP):
+            self._handle_setup(state, E2SetupRequest.from_value(body))
+        elif procedure == int(ProcedureCode.RIC_SUBSCRIPTION):
+            if msg_class == int(MessageClass.SUCCESSFUL):
+                self.submgr.confirm(RicSubscriptionResponse.from_value(body))
+            else:
+                self.submgr.fail(RicSubscriptionFailure.from_value(body))
+        elif procedure == int(ProcedureCode.RIC_SUBSCRIPTION_DELETE):
+            if msg_class == int(MessageClass.SUCCESSFUL):
+                self.submgr.deleted(RicSubscriptionDeleteResponse.from_value(body))
+            else:
+                from repro.core.e2ap.messages import RicSubscriptionDeleteFailure
+
+                failure = RicSubscriptionDeleteFailure.from_value(body)
+                self.submgr.remove(failure.request)
+        elif procedure == int(ProcedureCode.RIC_CONTROL):
+            if msg_class == int(MessageClass.SUCCESSFUL):
+                outcome: E2Message = RicControlAcknowledge.from_value(body)
+            else:
+                outcome = RicControlFailure.from_value(body)
+            callback = self._pending_controls.pop(outcome.request.as_tuple(), None)
+            if callback is not None:
+                callback(outcome)
+        elif procedure == int(ProcedureCode.RIC_SERVICE_UPDATE):
+            self._handle_service_update(state, RicServiceUpdate.from_value(body))
+        elif procedure == int(ProcedureCode.E2_NODE_CONFIGURATION_UPDATE):
+            from repro.core.e2ap.messages import (
+                E2NodeConfigurationUpdate,
+                E2NodeConfigurationUpdateAcknowledge,
+            )
+
+            update = E2NodeConfigurationUpdate.from_value(body)
+            if state.record is not None:
+                state.record.config.update(update.config)
+                self.events.publish(topics.NODE_CONFIG_UPDATED, (state.record, update))
+            state.endpoint.send(
+                encode_message(E2NodeConfigurationUpdateAcknowledge(), self.codec)
+            )
+        elif procedure == int(ProcedureCode.ERROR_INDICATION):
+            from repro.core.e2ap.messages import ErrorIndication
+
+            error = ErrorIndication.from_value(body)
+            self.errors_seen.append((state.conn_id, error))
+            self.events.publish(topics.ERROR_INDICATED, (state.record, error))
+        # Unknown procedures are ignored at the server (forward compat).
+
+    def _handle_setup(self, state: _ConnState, request: E2SetupRequest) -> None:
+        record = AgentRecord(
+            conn_id=state.conn_id,
+            node_id=request.node_id,
+            functions={item.ran_function_id: item for item in request.ran_functions},
+        )
+        state.record = record
+        entity, formed_now = self.randb.add_agent(record)
+        response = E2SetupResponse(
+            ric_id=self.config.ric_id,
+            accepted_functions=sorted(record.functions),
+        )
+        state.endpoint.send(encode_message(response, self.codec))
+        self.events.publish(topics.AGENT_CONNECTED, record)
+        for iapp in self._iapps:
+            iapp.on_agent_connected(record)
+        if formed_now:
+            self.events.publish(topics.RAN_FORMED, entity)
+            for iapp in self._iapps:
+                iapp.on_ran_formed(entity)
+
+    def _handle_service_update(self, state: _ConnState, update: RicServiceUpdate) -> None:
+        if state.record is None:
+            return
+        self.randb.update_functions(
+            state.conn_id,
+            added=update.added + update.modified,
+            removed=update.removed,
+        )
+        ack = RicServiceUpdateAcknowledge(
+            accepted=[item.ran_function_id for item in update.added + update.modified]
+        )
+        state.endpoint.send(encode_message(ack, self.codec))
+        self.events.publish(topics.FUNCTIONS_UPDATED, (state.record, update.added))
+
+    # -- internals ------------------------------------------------------
+
+    def _send(self, conn_id: int, message: E2Message) -> None:
+        state = self._conns.get(conn_id)
+        if state is None or state.endpoint.closed:
+            raise ConnectionError(f"no live agent connection {conn_id}")
+        with self.cpu.measure():
+            data = encode_message(message, self.codec)
+        state.endpoint.send(data)

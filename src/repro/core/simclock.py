@@ -1,0 +1,158 @@
+"""Discrete-event simulation core.
+
+All RAN-side experiments (agent overhead, slicing throughput,
+bufferbloat) run on a deterministic event loop: a priority queue of
+timestamped events plus a virtual clock in seconds.  TTI-driven layers
+(MAC) schedule themselves periodically; traffic generators schedule
+packet arrivals; the FlexRIC agent schedules indication emission.
+
+Determinism rules:
+
+* Ties are broken by insertion order (a monotonically increasing
+  sequence number), so repeated runs are bit-identical.
+* The clock only moves forward; scheduling into the past raises.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordering is (time, seq)."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when due."""
+        self.cancelled = True
+
+
+class SimClock:
+    """Virtual clock with an event queue.
+
+    Example:
+        >>> clock = SimClock()
+        >>> fired = []
+        >>> _ = clock.call_at(1.0, lambda: fired.append(clock.now))
+        >>> clock.run_until(2.0)
+        >>> fired
+        [1.0]
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def call_at(self, when: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule into the past: {when} < {self._now}")
+        event = Event(time=when, seq=next(self._seq), action=action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_after(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, action)
+
+    def call_every(
+        self,
+        period: float,
+        action: Callable[[], None],
+        start: Optional[float] = None,
+    ) -> "PeriodicTask":
+        """Schedule ``action`` every ``period`` seconds.
+
+        Returns a :class:`PeriodicTask` handle whose :meth:`stop` halts
+        the recurrence.
+        """
+        if period <= 0.0:
+            raise ValueError(f"non-positive period: {period}")
+        task = PeriodicTask(self, period, action)
+        task.start(self._now if start is None else start)
+        return task
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if idle."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            return True
+        return False
+
+    def run_until(self, deadline: float) -> None:
+        """Run all events with ``time <= deadline``, then set now=deadline."""
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > deadline:
+                break
+            heapq.heappop(self._queue)
+            self._now = head.time
+            head.action()
+        if deadline > self._now:
+            self._now = deadline
+
+    def run(self) -> None:
+        """Drain the queue completely."""
+        while self.step():
+            pass
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+
+class PeriodicTask:
+    """Recurring event helper returned by :meth:`SimClock.call_every`."""
+
+    def __init__(self, clock: SimClock, period: float, action: Callable[[], None]) -> None:
+        self._clock = clock
+        self._period = period
+        self._action = action
+        self._event: Optional[Event] = None
+        self._stopped = False
+
+    def start(self, first: float) -> None:
+        if first < self._clock.now:
+            raise ValueError("periodic task cannot start in the past")
+        self._event = self._clock.call_at(first, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._action()
+        if not self._stopped:
+            self._event = self._clock.call_after(self._period, self._fire)
+
+    def stop(self) -> None:
+        """Stop the recurrence; a pending occurrence is cancelled."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

@@ -1,0 +1,28 @@
+"""Transport abstraction (§4.3 point 1).
+
+O-RAN mandates SCTP for E2; FlexRIC wraps the transport behind an
+interface so deployments can swap it.  SCTP's relevant property for
+E2AP is *ordered, reliable message boundaries*; this package provides:
+
+* :class:`~repro.core.transport.base.Transport` — the interface,
+* :class:`~repro.core.transport.tcp.TcpTransport` — message framing
+  over TCP sockets (the SCTP stand-in; see DESIGN.md substitutions),
+* :class:`~repro.core.transport.inproc.InProcTransport` — a loopback
+  transport for deterministic simulations and tests.
+"""
+
+from repro.core.transport.base import Endpoint, Listener, Transport, TransportEvents
+from repro.core.transport.framing import Framer, frame_message
+from repro.core.transport.inproc import InProcTransport
+from repro.core.transport.tcp import TcpTransport
+
+__all__ = [
+    "Endpoint",
+    "Listener",
+    "Transport",
+    "TransportEvents",
+    "Framer",
+    "frame_message",
+    "InProcTransport",
+    "TcpTransport",
+]

@@ -1,0 +1,87 @@
+"""Transport interface shared by TCP and in-process implementations."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+
+class Endpoint(ABC):
+    """One side of an established connection.
+
+    ``send`` preserves message boundaries (SCTP semantics): the peer's
+    ``on_message`` receives exactly the bytes of one ``send``.
+    """
+
+    @abstractmethod
+    def send(self, data: bytes) -> None:
+        """Queue one message for delivery; raises if closed."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Tear the connection down; the peer sees ``on_disconnected``."""
+
+    @property
+    @abstractmethod
+    def peer(self) -> str:
+        """Human-readable peer address (diagnostics only)."""
+
+    @property
+    @abstractmethod
+    def closed(self) -> bool:
+        """True once the connection is no longer usable."""
+
+
+class TransportEvents:
+    """Callback bundle a user passes to ``listen``/``connect``.
+
+    All callbacks are optional; unset ones are ignored.  Callbacks run
+    on the transport's dispatch context (the caller of ``step`` for
+    in-process, the I/O thread for TCP), mirroring the single-threaded
+    event-driven design of the SDK (§4.4).
+    """
+
+    def __init__(
+        self,
+        on_connected: Optional[Callable[[Endpoint], None]] = None,
+        on_message: Optional[Callable[[Endpoint, bytes], None]] = None,
+        on_disconnected: Optional[Callable[[Endpoint], None]] = None,
+    ) -> None:
+        self.on_connected = on_connected or (lambda endpoint: None)
+        self.on_message = on_message or (lambda endpoint, data: None)
+        self.on_disconnected = on_disconnected or (lambda endpoint: None)
+
+
+class Listener(ABC):
+    """Handle for a listening address."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Stop accepting new connections (existing ones survive)."""
+
+    @property
+    @abstractmethod
+    def address(self) -> str:
+        """The bound address, e.g. ``"127.0.0.1:36421"``."""
+
+
+class Transport(ABC):
+    """Factory for listeners and outgoing connections."""
+
+    #: registry-style name, e.g. ``"tcp"`` or ``"inproc"``.
+    name: str = ""
+
+    @abstractmethod
+    def listen(self, address: str, events: TransportEvents) -> Listener:
+        """Accept connections on ``address``.
+
+        ``address`` format is transport-specific (``host:port`` for
+        TCP, any opaque string for in-process).
+        """
+
+    @abstractmethod
+    def connect(self, address: str, events: TransportEvents) -> Endpoint:
+        """Open a connection to a listening ``address``.
+
+        Raises ``ConnectionError`` if nothing listens there.
+        """

@@ -1,0 +1,244 @@
+"""Message-framed transport over TCP sockets (the SCTP stand-in).
+
+Each :class:`TcpTransport` owns one ``selectors``-based I/O loop that
+multiplexes every listener and connection created through it — the
+single-threaded, event-driven structure the paper's server library uses
+(§4.4).  The loop runs either inline (:meth:`step`, for tests) or on a
+background thread (:meth:`start`), which is how the RTT experiments
+drive real sockets on localhost exactly as the paper measured.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+from typing import Dict, Optional
+
+from repro.core.transport.base import Endpoint, Listener, Transport, TransportEvents
+from repro.core.transport.framing import Framer, frame_message
+
+
+def _parse_address(address: str) -> tuple:
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"address must be host:port, got {address!r}")
+    return host, int(port)
+
+
+class _TcpEndpoint(Endpoint):
+    def __init__(self, transport: "TcpTransport", sock: socket.socket, events: TransportEvents) -> None:
+        self._transport = transport
+        self._sock = sock
+        self._events = events
+        self._framer = Framer()
+        self._send_lock = threading.Lock()
+        self._closed = False
+        try:
+            self._peer = "%s:%d" % sock.getpeername()[:2]
+        except OSError:
+            self._peer = "?"
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def send(self, data: bytes) -> None:
+        if self._closed:
+            raise ConnectionError("endpoint closed")
+        frame = frame_message(data)
+        # sendall under a lock: POSIX sockets are thread-safe but frame
+        # interleaving from concurrent senders must still be prevented.
+        with self._send_lock:
+            self._sock.sendall(frame)
+        self.bytes_sent += len(data)
+        self.messages_sent += 1
+
+    def close(self) -> None:
+        self._transport._close_endpoint(self, notify_local=False)
+
+    @property
+    def peer(self) -> str:
+        return self._peer
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class _TcpListener(Listener):
+    def __init__(self, transport: "TcpTransport", sock: socket.socket, events: TransportEvents) -> None:
+        self._transport = transport
+        self._sock = sock
+        self._events = events
+        host, port = sock.getsockname()[:2]
+        self._address = f"{host}:{port}"
+
+    def close(self) -> None:
+        self._transport._close_listener(self)
+
+    @property
+    def address(self) -> str:
+        return self._address
+
+    @property
+    def port(self) -> int:
+        return int(self._address.rpartition(":")[2])
+
+
+class TcpTransport(Transport):
+    """Framed-TCP transport with an owned selector loop."""
+
+    name = "tcp"
+
+    #: bytes read per recv call.
+    RECV_SIZE = 256 * 1024
+
+    def __init__(self) -> None:
+        self._selector = selectors.DefaultSelector()
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+        self._endpoints: Dict[socket.socket, _TcpEndpoint] = {}
+        # Self-pipe so start/stop and registration wake the loop.
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._selector.register(self._wake_recv, selectors.EVENT_READ, ("wake", None))
+
+    # -- public API --------------------------------------------------
+
+    def listen(self, address: str, events: TransportEvents) -> _TcpListener:
+        host, port = _parse_address(address)
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(64)
+        sock.setblocking(False)
+        listener = _TcpListener(self, sock, events)
+        with self._lock:
+            self._selector.register(sock, selectors.EVENT_READ, ("accept", listener))
+        self._wake()
+        return listener
+
+    def connect(self, address: str, events: TransportEvents) -> _TcpEndpoint:
+        host, port = _parse_address(address)
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.connect((host, port))
+        sock.setblocking(False)
+        endpoint = _TcpEndpoint(self, sock, events)
+        with self._lock:
+            self._endpoints[sock] = endpoint
+            self._selector.register(sock, selectors.EVENT_READ, ("conn", endpoint))
+        self._wake()
+        events.on_connected(endpoint)
+        return endpoint
+
+    def start(self) -> None:
+        """Run the I/O loop on a daemon thread until :meth:`stop`."""
+        if self._running:
+            return
+        self._running = True
+        self._thread = threading.Thread(target=self._run, name="tcp-transport", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the loop thread and close every socket."""
+        self._running = False
+        self._wake()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        with self._lock:
+            for sock, endpoint in list(self._endpoints.items()):
+                endpoint._closed = True
+                self._unregister(sock)
+                sock.close()
+            self._endpoints.clear()
+            for key in list(self._selector.get_map().values()):
+                kind, owner = key.data
+                if kind == "accept":
+                    self._selector.unregister(key.fileobj)
+                    key.fileobj.close()
+
+    def step(self, timeout: float = 0.0) -> int:
+        """Process pending I/O inline; returns the number of events."""
+        return self._poll(timeout)
+
+    # -- internals ---------------------------------------------------
+
+    def _run(self) -> None:
+        while self._running:
+            self._poll(timeout=0.1)
+
+    def _poll(self, timeout: float) -> int:
+        events = self._selector.select(timeout)
+        for key, _mask in events:
+            kind, owner = key.data
+            if kind == "wake":
+                try:
+                    while self._wake_recv.recv(4096):
+                        pass
+                except BlockingIOError:
+                    pass
+            elif kind == "accept":
+                self._accept(owner)
+            else:
+                self._read(owner)
+        return len(events)
+
+    def _accept(self, listener: _TcpListener) -> None:
+        try:
+            sock, _addr = listener._sock.accept()
+        except OSError:
+            return
+        sock.setblocking(False)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        endpoint = _TcpEndpoint(self, sock, listener._events)
+        with self._lock:
+            self._endpoints[sock] = endpoint
+            self._selector.register(sock, selectors.EVENT_READ, ("conn", endpoint))
+        listener._events.on_connected(endpoint)
+
+    def _read(self, endpoint: _TcpEndpoint) -> None:
+        try:
+            chunk = endpoint._sock.recv(self.RECV_SIZE)
+        except BlockingIOError:
+            return
+        except OSError:
+            chunk = b""
+        if not chunk:
+            self._close_endpoint(endpoint, notify_local=True)
+            return
+        for message in endpoint._framer.feed(chunk):
+            endpoint._events.on_message(endpoint, message)
+
+    def _close_endpoint(self, endpoint: _TcpEndpoint, notify_local: bool) -> None:
+        if endpoint._closed:
+            return
+        endpoint._closed = True
+        sock = endpoint._sock
+        with self._lock:
+            self._endpoints.pop(sock, None)
+            self._unregister(sock)
+        try:
+            sock.close()
+        except OSError:
+            pass
+        if notify_local:
+            endpoint._events.on_disconnected(endpoint)
+
+    def _close_listener(self, listener: _TcpListener) -> None:
+        with self._lock:
+            self._unregister(listener._sock)
+        listener._sock.close()
+
+    def _unregister(self, sock: socket.socket) -> None:
+        try:
+            self._selector.unregister(sock)
+        except (KeyError, ValueError):
+            pass
+
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send(b"x")
+        except OSError:
+            pass

@@ -1,0 +1,8 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes ``run_*`` functions returning plain dataclasses /
+dicts (consumed by the benchmarks in ``benchmarks/``) and a ``main()``
+that prints the same rows/series the paper reports.  The per-experiment
+index in DESIGN.md maps figures to modules; EXPERIMENTS.md records
+paper-versus-measured values.
+"""

@@ -1,0 +1,211 @@
+"""Fig. 6: agent overhead in the user plane (§5.1).
+
+Fig. 6a — radio deployment: normalized CPU of the base-station user
+plane versus the agent exporting MAC+RLC+PDCP statistics at 1 ms:
+
+* LTE cell: 25 RBs, 8 cores, 3 UEs at MCS 28 (FlexRIC and FlexRAN),
+* NR cell: 106 RBs, 16 cores, 3 UEs at MCS 20 (FlexRIC).
+
+The user-plane load is the modelled PHY cost (6.55 % / 8.66 % machine
+load, see DESIGN.md substitutions); the agent cost is the *real* CPU
+the Python agent burns encoding and sending the reports, normalized
+over the simulated interval.  Shape: the agent overhead is small
+against the user plane, FlexRIC is comparable to FlexRAN, and the
+relative overhead shrinks on NR ("due to a more demanding physical
+layer").
+
+Fig. 6b — L2 simulator: agent CPU versus number of connected UEs
+(no PHY), FlexRAN vs FlexRIC vs no agent.  Shape: both grow with the
+UE count; FlexRIC tracks at or below FlexRAN for many UEs ("up to 1 %
+less CPU load for 32 UEs ... due to more efficient encoding of
+indication messages through Flatbuffers").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.baselines.flexran import FlexRanAgent, FlexRanController
+from repro.controllers.monitoring import StatsMonitorIApp
+from repro.core.simclock import SimClock
+from repro.core.server.server import Server, ServerConfig
+from repro.core.transport.inproc import InProcTransport
+from repro.metrics.cpu import CpuMeter
+from repro.ran.base_station import BaseStation, BaseStationConfig, attach_agent
+from repro.ran.l2sim import L2Simulator
+from repro.ran.phy import LTE_CELL_5MHZ, NR_CELL_20MHZ, PhyConfig
+from repro.sm import mac_stats, pdcp_stats, rlc_stats
+
+STATS_OIDS = [mac_stats.INFO.oid, rlc_stats.INFO.oid, pdcp_stats.INFO.oid]
+
+
+@dataclass
+class AgentOverheadResult:
+    """One bar of Fig. 6a."""
+
+    label: str
+    cores: int
+    bs_cpu_percent: float     # user-plane load (normalized)
+    agent_cpu_percent: float  # agent overhead (normalized)
+
+
+def _full_buffer(bs: BaseStation, rntis: List[int], bytes_per_ue: int = 30_000) -> None:
+    """Keep every UE's RLC backlogged so stats carry real counters."""
+    from repro.traffic.flows import FiveTuple, Packet
+
+    def top_up() -> None:
+        now = bs.clock.now
+        for rnti in rntis:
+            entity = bs.mac.rlc_of(rnti, 1)
+            while entity.backlog_bytes < bytes_per_ue:
+                flow = FiveTuple("10.0.0.1", f"10.0.1.{rnti}", 5001, 5001, "udp")
+                if not entity.enqueue(Packet(flow=flow, size=1400, created_at=now), now):
+                    break
+
+    bs.clock.call_every(bs.config.phy.tti_s, top_up)
+
+
+def run_flexric_radio(
+    phy: PhyConfig, n_ues: int, mcs: int, duration_s: float = 2.0, period_ms: float = 1.0
+) -> AgentOverheadResult:
+    """FlexRIC agent on a radio cell, stats at ``period_ms``."""
+    clock = SimClock()
+    bs = BaseStation(BaseStationConfig(phy=phy), clock)
+    for rnti in range(1, n_ues + 1):
+        bs.attach_ue(rnti, fixed_mcs=mcs)
+    transport = InProcTransport()
+    server = Server(ServerConfig(e2ap_codec="fb"))
+    server.listen(transport, "ric")
+    server.add_iapp(StatsMonitorIApp(oids=STATS_OIDS, period_ms=period_ms, sm_codec="fb"))
+    agent_cpu = CpuMeter("flexric-agent", cores=phy.cores)
+    agent = attach_agent(bs, transport, e2ap_codec="fb", sm_codec="fb", cpu_meter=agent_cpu)
+    agent.connect("ric")
+    _full_buffer(bs, list(range(1, n_ues + 1)))
+    bs.start()
+    clock.run_until(duration_s)
+    return AgentOverheadResult(
+        label=f"{phy.rat.upper()} ({phy.cores}c) FlexRIC",
+        cores=phy.cores,
+        bs_cpu_percent=bs.cpu.sample(duration_s).normalized_percent,
+        agent_cpu_percent=agent_cpu.sample(duration_s).normalized_percent,
+    )
+
+
+def run_flexran_radio(
+    phy: PhyConfig, n_ues: int, mcs: int, duration_s: float = 2.0, period_ms: float = 1.0
+) -> AgentOverheadResult:
+    """FlexRAN agent on the same radio cell (LTE only, as the paper)."""
+    clock = SimClock()
+    bs = BaseStation(BaseStationConfig(phy=phy), clock)
+    for rnti in range(1, n_ues + 1):
+        bs.attach_ue(rnti, fixed_mcs=mcs)
+    transport = InProcTransport()
+    controller = FlexRanController()
+    controller.listen(transport, "flexran")
+    agent_cpu = CpuMeter("flexran-agent", cores=phy.cores)
+    agent = FlexRanAgent(
+        agent_id=1,
+        transport=transport,
+        mac_provider=lambda: bs.mac_stats_provider(None),
+        rlc_provider=lambda: bs.rlc_stats_provider(None),
+        pdcp_provider=lambda: bs.pdcp_stats_provider(None),
+        clock=clock,
+        cpu_meter=agent_cpu,
+    )
+    agent.connect("flexran")
+    controller.configure_stats(1, period_ms)
+    _full_buffer(bs, list(range(1, n_ues + 1)))
+    bs.start()
+    clock.run_until(duration_s)
+    return AgentOverheadResult(
+        label=f"{phy.rat.upper()} ({phy.cores}c) FlexRAN",
+        cores=phy.cores,
+        bs_cpu_percent=bs.cpu.sample(duration_s).normalized_percent,
+        agent_cpu_percent=agent_cpu.sample(duration_s).normalized_percent,
+    )
+
+
+def run_fig6a(duration_s: float = 2.0) -> List[AgentOverheadResult]:
+    return [
+        run_flexric_radio(LTE_CELL_5MHZ, n_ues=3, mcs=28, duration_s=duration_s),
+        run_flexran_radio(LTE_CELL_5MHZ, n_ues=3, mcs=28, duration_s=duration_s),
+        run_flexric_radio(NR_CELL_20MHZ, n_ues=3, mcs=20, duration_s=duration_s),
+    ]
+
+
+@dataclass
+class L2SimPoint:
+    """One point of the Fig. 6b curves."""
+
+    variant: str
+    n_ues: int
+    cpu_percent: float  # whole-node CPU (real process time over sim time)
+
+
+def _run_l2sim(variant: str, n_ues: int, duration_s: float, period_ms: float) -> L2SimPoint:
+    clock = SimClock()
+    sim = L2Simulator(clock=clock)
+    if n_ues:
+        sim.attach_ues(n_ues)
+        sim.keep_buffers_full()
+    transport = InProcTransport()
+    if variant == "flexric":
+        server = Server(ServerConfig(e2ap_codec="fb"))
+        server.listen(transport, "ric")
+        server.add_iapp(StatsMonitorIApp(oids=STATS_OIDS, period_ms=period_ms, sm_codec="fb"))
+        agent = attach_agent(sim, transport, e2ap_codec="fb", sm_codec="fb")
+        agent.connect("ric")
+    elif variant == "flexran":
+        controller = FlexRanController()
+        controller.listen(transport, "flexran")
+        agent = FlexRanAgent(
+            agent_id=1,
+            transport=transport,
+            mac_provider=lambda: sim.mac_stats_provider(None),
+            rlc_provider=lambda: sim.rlc_stats_provider(None),
+            pdcp_provider=lambda: sim.pdcp_stats_provider(None),
+            clock=clock,
+        )
+        agent.connect("flexran")
+        controller.configure_stats(1, period_ms)
+    elif variant != "none":
+        raise ValueError(f"unknown variant {variant!r}")
+    sim.start()
+    cores = sim.config.phy.cores
+    start = time.process_time()
+    clock.run_until(duration_s)
+    busy = time.process_time() - start
+    return L2SimPoint(
+        variant=variant,
+        n_ues=n_ues,
+        cpu_percent=100.0 * busy / (duration_s * cores),
+    )
+
+
+def run_fig6b(
+    ue_counts: Optional[List[int]] = None, duration_s: float = 1.0, period_ms: float = 1.0
+) -> List[L2SimPoint]:
+    counts = ue_counts if ue_counts is not None else [0, 4, 8, 16, 24, 32]
+    points: List[L2SimPoint] = []
+    for variant in ("none", "flexric", "flexran"):
+        for n_ues in counts:
+            points.append(_run_l2sim(variant, n_ues, duration_s, period_ms))
+    return points
+
+
+def main() -> None:
+    print("=== Fig. 6a: normalized CPU, radio deployment ===")
+    for result in run_fig6a():
+        print(
+            f"  {result.label:<22} BS UP={result.bs_cpu_percent:5.2f}%  "
+            f"agent={result.agent_cpu_percent:5.2f}%"
+        )
+    print("=== Fig. 6b: normalized CPU vs #UEs (L2 simulator) ===")
+    for point in run_fig6b():
+        print(f"  {point.variant:<8} ues={point.n_ues:>2}  cpu={point.cpu_percent:6.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,181 @@
+"""Fig. 7: impact of E2AP/E2SM encoding on RTT and signaling rate.
+
+Reproduces §5.2: the HW-E2SM ping between a FlexRIC agent and
+controller over localhost sockets, sweeping the four E2AP x E2SM codec
+combinations plus the FlexRAN baseline (single Protobuf encoding, no
+double encoding), for 100 B and 1500 B payloads.
+
+Paper shapes to reproduce:
+* Fig. 7a — FB/FB has the lowest RTT (-25 % at 100 B, -66 % at 1500 B
+  versus ASN/ASN); ASN/FB is *worse* than ASN/ASN (the larger FB E2SM
+  blob must be re-encoded by ASN.1 E2AP); FlexRAN sits between FB and
+  ASN cases.
+* Fig. 7b — FB/FB raises the signaling rate by ~67 % at 100 B but
+  only marginally at 1500 B; FlexRAN has the smallest rate (no double
+  encoding).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.baselines.flexran import FlexRanAgent, FlexRanController
+from repro.core.transport.tcp import TcpTransport
+from repro.experiments.common import signaling_rate_mbps
+from repro.metrics.stats import Summary, summarize
+
+#: The four double-encoding combinations of §5.2, (E2AP, E2SM).
+COMBINATIONS: Tuple[Tuple[str, str], ...] = (
+    ("asn", "asn"),
+    ("asn", "fb"),
+    ("fb", "asn"),
+    ("fb", "fb"),
+)
+PAYLOAD_SIZES = (100, 1500)
+
+
+@dataclass
+class RttResult:
+    """RTT measurements of one configuration."""
+
+    label: str
+    payload: int
+    summary: Summary
+
+
+def run_flexric_rtt(
+    e2ap_codec: str, e2sm_codec: str, payload: int, pings: int = 50
+) -> RttResult:
+    """Ping over real localhost TCP sockets, as the paper measured."""
+    transport = TcpTransport()
+    transport.start()
+    try:
+        from repro.core.server.server import Server, ServerConfig
+        from repro.experiments.common import FlexRicPair, HwPingerIApp
+        from repro.core.agent.agent import Agent, AgentConfig
+        from repro.core.e2ap.ies import GlobalE2NodeId, NodeKind
+        from repro.sm import hw
+
+        server = Server(ServerConfig(e2ap_codec=e2ap_codec))
+        listener = server.listen(transport, "127.0.0.1:0")
+        pinger = HwPingerIApp(sm_codec=e2sm_codec)
+        server.add_iapp(pinger)
+        agent = Agent(
+            AgentConfig(
+                node_id=GlobalE2NodeId("00101", 1, NodeKind.GNB), e2ap_codec=e2ap_codec
+            ),
+            transport=transport,
+        )
+        agent.register_function(hw.HwRanFunction(sm_codec=e2sm_codec))
+        agent.connect(listener.address)
+        if not pinger.subscribed.wait(5.0):
+            raise TimeoutError("subscription did not complete")
+        data = b"p" * payload
+        for _ in range(3):  # warm-up
+            pinger.ping(data)
+        pinger.rtts_us.clear()
+        for _ in range(pings):
+            pinger.ping(data)
+        return RttResult(
+            label=f"{e2ap_codec}/{e2sm_codec}",
+            payload=payload,
+            summary=summarize(pinger.rtts_us),
+        )
+    finally:
+        transport.stop()
+
+
+def run_flexran_rtt(payload: int, pings: int = 50) -> RttResult:
+    """FlexRAN baseline: echo over its single-encoded protocol."""
+    transport = TcpTransport()
+    transport.start()
+    try:
+        controller = FlexRanController()
+        listener = controller.listen(transport, "127.0.0.1:0")
+        agent = FlexRanAgent(
+            agent_id=1,
+            transport=transport,
+            mac_provider=lambda: {"ues": []},
+            rlc_provider=lambda: {"bearers": []},
+            pdcp_provider=lambda: {"bearers": []},
+        )
+        agent.connect(listener.address)
+        deadline = time.time() + 5.0
+        while not controller.agent_ids and time.time() < deadline:
+            time.sleep(0.001)
+        if not controller.agent_ids:
+            raise TimeoutError("FlexRAN agent did not register")
+        data = b"p" * payload
+        rtts: List[float] = []
+        for seq in range(1, pings + 4):
+            expected = len(controller.echo_replies) + 1
+            start = time.perf_counter()
+            controller.echo(1, seq, data)
+            while len(controller.echo_replies) < expected:
+                if time.perf_counter() - start > 5.0:
+                    raise TimeoutError("FlexRAN echo timed out")
+            if seq > 3:  # skip warm-up
+                rtts.append((time.perf_counter() - start) * 1e6)
+        return RttResult(label="FlexRAN", payload=payload, summary=summarize(rtts))
+    finally:
+        transport.stop()
+
+
+def run_rtt_sweep(pings: int = 50) -> List[RttResult]:
+    """Fig. 7a: every combination x payload, plus FlexRAN."""
+    results: List[RttResult] = []
+    for payload in PAYLOAD_SIZES:
+        for e2ap, e2sm in COMBINATIONS:
+            results.append(run_flexric_rtt(e2ap, e2sm, payload, pings))
+        results.append(run_flexran_rtt(payload, pings))
+    return results
+
+
+def run_signaling_sweep(period_ms: float = 1.0) -> List[dict]:
+    """Fig. 7b: signaling rate at one ping per TTI (1 ms)."""
+    rows = []
+    for payload in PAYLOAD_SIZES:
+        for e2ap, e2sm in COMBINATIONS:
+            rows.append(
+                {
+                    "label": f"{e2ap}/{e2sm}",
+                    "payload": payload,
+                    "mbps": signaling_rate_mbps(e2ap, e2sm, payload, period_ms),
+                }
+            )
+        rows.append(
+            {
+                "label": "FlexRAN",
+                "payload": payload,
+                "mbps": _flexran_signaling_mbps(payload, period_ms),
+            }
+        )
+    return rows
+
+
+def _flexran_signaling_mbps(payload: int, period_ms: float) -> float:
+    from repro.baselines.flexran import protocol
+
+    request = protocol.echo_request(1, b"x" * payload)
+    reply = protocol.echo_reply(1, b"x" * payload)
+    per_second = 1000.0 / period_ms
+    return (len(request) + len(reply)) * 8.0 * per_second / 1e6
+
+
+def main() -> None:
+    print("=== Fig. 7a: HW-E2SM ping round-trip time (localhost TCP) ===")
+    for result in run_rtt_sweep(pings=30):
+        print(
+            f"  {result.label:<8} payload={result.payload:>5}B  "
+            f"mean={result.summary.mean:8.1f}us p50={result.summary.p50:8.1f}us"
+        )
+    print("=== Fig. 7b: signaling rate at 1 ping/ms ===")
+    for row in run_signaling_sweep():
+        print(f"  {row['label']:<8} payload={row['payload']:>5}B  {row['mbps']:6.2f} Mbps")
+
+
+if __name__ == "__main__":
+    main()

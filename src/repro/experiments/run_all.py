@@ -1,0 +1,114 @@
+"""Regenerate every table and figure in one run.
+
+Prints the paper-style rows for Figs. 6-15 and Table 2 sequentially.
+The full run takes several minutes (the slicing/virtualization
+experiments simulate 40-60 s of radio time each); pass ``--quick`` for
+scaled-down parameters.
+
+Usage::
+
+    python -m repro.experiments.run_all [--quick]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import fig6, fig7, fig8, fig9, fig11, fig13, fig15, table2
+
+
+def _banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main(argv=None) -> None:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    started = time.time()
+
+    _banner("Fig. 6: agent overhead in the user plane (§5.1)")
+    for result in fig6.run_fig6a(duration_s=0.5 if quick else 2.0):
+        print(
+            f"  {result.label:<22} BS UP={result.bs_cpu_percent:5.2f}%  "
+            f"agent={result.agent_cpu_percent:5.2f}%"
+        )
+    for point in fig6.run_fig6b(
+        ue_counts=[0, 8, 32] if quick else None, duration_s=0.3 if quick else 1.0
+    ):
+        print(f"  {point.variant:<8} ues={point.n_ues:>2}  cpu={point.cpu_percent:6.2f}%")
+
+    _banner("Fig. 7: encoding impact on RTT and signaling (§5.2)")
+    for result in fig7.run_rtt_sweep(pings=15 if quick else 50):
+        print(
+            f"  {result.label:<8} payload={result.payload:>5}B  "
+            f"p50={result.summary.p50:8.1f}us"
+        )
+    for row in fig7.run_signaling_sweep():
+        print(f"  {row['label']:<8} payload={row['payload']:>5}B  {row['mbps']:6.2f} Mbps")
+
+    _banner("Fig. 8: controller scalability (§5.3)")
+    for result in fig8.run_fig8a(reports=200 if quick else 1000):
+        print(
+            f"  {result.label:<8} cpu={result.cpu_percent:6.2f}%  "
+            f"mem={result.memory_mb:8.3f} MB"
+        )
+    for point in fig8.run_fig8b(reports=40 if quick else 200):
+        print(
+            f"  {point.e2ap_codec:<4} agents={point.n_agents:>2}  "
+            f"cpu={point.cpu_percent:6.2f}%  signaling={point.signaling_mbps:7.1f} Mbps"
+        )
+
+    _banner("Table 2: deployment footprint (§5.4)")
+    for row in table2.run_table2():
+        print(f"  {row.component:<30} model={row.modelled_mb:7.0f} MB  paper={row.paper_mb} MB")
+
+    _banner("Fig. 9: comparison to the O-RAN RIC (§5.4)")
+    for result in fig9.run_fig9a(pings=15 if quick else 30):
+        print(
+            f"  {result.label:<16} payload={result.payload:>5}B  "
+            f"p50={result.summary.p50:8.1f}us"
+        )
+    for row in fig9.run_fig9b(
+        n_agents=4 if quick else 10, reports=50 if quick else 200
+    ):
+        print(
+            f"  {row.label:<10} cpu={row.cpu_percent:6.2f}%  mem={row.memory_mb:8.1f} MB"
+        )
+
+    _banner("Fig. 11: traffic control vs bufferbloat (§6.1.1)")
+    duration = 15.0 if quick else 40.0
+    transparent = fig11.run_fig11("transparent", duration)
+    xapp = fig11.run_fig11("xapp", duration)
+    from repro.metrics.stats import percentile
+
+    for result in (transparent, xapp):
+        late = result.voip_rtts_ms[len(result.voip_rtts_ms) // 3:]
+        print(f"  {result.mode:<12} VoIP RTT p50={percentile(late, 50):6.1f} ms")
+    print(f"  speedup: {fig11.rtt_speedup(transparent, xapp):.1f}x (paper ~4x)")
+
+    _banner("Fig. 13: slicing isolation and sharing (§6.1.2)")
+    for phase in fig13.run_fig13a(phase_s=3.0 if quick else 5.0):
+        ues = ", ".join(f"ue{r}={m:5.1f}" for r, m in sorted(phase.per_ue_mbps.items()))
+        print(f"  {phase.phase:<8} [{ues}] Mbps")
+    static = fig13.run_fig13b("static", duration_s=40.0)
+    nvs = fig13.run_fig13b("nvs", duration_s=40.0)
+    print(f"  sharing gain while black idle: {fig13.sharing_gain(static, nvs):.2f}x (paper ~1.5x)")
+
+    _banner("Fig. 15: dedicated vs shared infrastructure (§6.2)")
+    shared = fig15.run_shared(duration_s=45.0)
+    dedicated = fig15.run_dedicated(duration_s=45.0)
+    print(f"  isolation (shared): {fig15.isolation_check(shared):.2f} (expect 1.0)")
+    print(f"  multiplexing gain (shared): {fig15.multiplexing_gain(shared):.2f}x (expect ~2x)")
+    a_idle = dedicated[1].mean_between(34, 41) + dedicated[2].mean_between(34, 41)
+    a_busy = dedicated[1].mean_between(13, 19) + dedicated[2].mean_between(13, 19)
+    print(f"  dedicated A while B idle vs busy: {a_idle:.1f} vs {a_busy:.1f} Mbps (no gain)")
+
+    print()
+    print(f"all experiments regenerated in {time.time() - started:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

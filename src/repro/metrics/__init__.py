@@ -1,0 +1,26 @@
+"""Measurement utilities used across the evaluation harness.
+
+The paper reports CPU usage (normalized percentage of the machine),
+memory footprints, round-trip-time distributions, and signaling rates.
+This package provides the probes that replace the paper's testbed tools
+(``top``, ``docker stats``) with in-process equivalents:
+
+* :mod:`repro.metrics.cpu` — process-time based CPU accounting.
+* :mod:`repro.metrics.memory` — byte-level accounting of component state.
+* :mod:`repro.metrics.stats` — percentiles, CDFs and summary statistics.
+"""
+
+from repro.metrics.cpu import CpuMeter, CpuSample
+from repro.metrics.memory import MemoryMeter, deep_sizeof
+from repro.metrics.stats import Summary, cdf, percentile, summarize
+
+__all__ = [
+    "CpuMeter",
+    "CpuSample",
+    "MemoryMeter",
+    "deep_sizeof",
+    "Summary",
+    "cdf",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,83 @@
+"""Summary statistics for latency and throughput series.
+
+Used to report the RTT distributions of Fig. 7a/9a, the CDF of
+Fig. 11c, and throughput time series of Fig. 13/15.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100].
+
+    Raises ValueError on an empty sequence.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def cdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as a list of ``(value, probability)`` points."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (i + 1) / n) for i, value in enumerate(ordered)]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a series."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def row(self, unit: str = "") -> str:
+        """One formatted table row, e.g. for EXPERIMENTS.md output."""
+        suffix = f" {unit}" if unit else ""
+        return (
+            f"n={self.count} mean={self.mean:.2f}{suffix} "
+            f"p50={self.p50:.2f}{suffix} p95={self.p95:.2f}{suffix} "
+            f"p99={self.p99:.2f}{suffix} max={self.maximum:.2f}{suffix}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary`; raises on empty input."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n if n > 1 else 0.0
+    return Summary(
+        count=n,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=min(values),
+        p50=percentile(values, 50.0),
+        p95=percentile(values, 95.0),
+        p99=percentile(values, 99.0),
+        maximum=max(values),
+    )

@@ -1,0 +1,22 @@
+"""Northbound communication interfaces (§4.2.1).
+
+A controller specialization "typically exposes a northbound
+communication interface using a custom protocol, such as a simple REST
+interface (e.g., FlexRAN), the RMR library (e.g., O-RAN RIC), a message
+broker (e.g. Redis), or E2AP itself".  This package provides the first
+two of those options for the specializations of §6:
+
+* :mod:`repro.northbound.rest` — a small JSON-over-HTTP server
+  (stdlib ``http.server``) plus a curl-like client,
+* :mod:`repro.northbound.broker` — a Redis-style publish/subscribe
+  message broker.
+
+(The E2AP northbound is the agent library itself — see
+:mod:`repro.controllers.virtualization`; the RMR-style mesh lives with
+the O-RAN baseline in :mod:`repro.baselines.oran.rmr`.)
+"""
+
+from repro.northbound.broker import Broker, BrokerSubscription
+from repro.northbound.rest import RestClient, RestServer
+
+__all__ = ["Broker", "BrokerSubscription", "RestClient", "RestServer"]

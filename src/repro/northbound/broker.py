@@ -1,0 +1,76 @@
+"""Redis-style publish/subscribe message broker.
+
+The traffic controller of Table 3 uses "Redis as a message broker used
+by an iApp to forward messages to the xApp".  This broker reproduces
+the channel-based pub/sub pattern in process: publishers push JSON-able
+payloads to named channels; subscribers receive them synchronously (the
+default, deterministic for simulations) or drain them from a mailbox.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+Handler = Callable[[str, Any], None]
+
+
+@dataclass
+class BrokerSubscription:
+    """Handle returned by subscribe; also a drainable mailbox."""
+
+    sub_id: int
+    pattern: str
+    handler: Optional[Handler] = None
+    mailbox: Deque[Tuple[str, Any]] = field(default_factory=deque)
+
+    def drain(self) -> List[Tuple[str, Any]]:
+        """Empty the mailbox; returns [(channel, payload), ...]."""
+        items = list(self.mailbox)
+        self.mailbox.clear()
+        return items
+
+
+class Broker:
+    """Channel-based pub/sub with glob channel patterns."""
+
+    def __init__(self) -> None:
+        self._subs: Dict[int, BrokerSubscription] = {}
+        self._ids = itertools.count(1)
+        self.published = 0
+        self.delivered = 0
+
+    def subscribe(self, pattern: str, handler: Optional[Handler] = None) -> BrokerSubscription:
+        """Subscribe to channels matching ``pattern`` (glob syntax).
+
+        With a ``handler`` messages are delivered synchronously on
+        publish; without one they queue in the subscription's mailbox.
+        """
+        sub = BrokerSubscription(sub_id=next(self._ids), pattern=pattern, handler=handler)
+        self._subs[sub.sub_id] = sub
+        return sub
+
+    def unsubscribe(self, sub: BrokerSubscription) -> None:
+        self._subs.pop(sub.sub_id, None)
+
+    def publish(self, channel: str, payload: Any) -> int:
+        """Deliver ``payload`` to every matching subscriber."""
+        self.published += 1
+        receivers = 0
+        for sub in list(self._subs.values()):
+            if not fnmatch.fnmatchcase(channel, sub.pattern):
+                continue
+            receivers += 1
+            self.delivered += 1
+            if sub.handler is not None:
+                sub.handler(channel, payload)
+            else:
+                sub.mailbox.append((channel, payload))
+        return receivers
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subs)

@@ -1,0 +1,59 @@
+"""L2 simulator: the base station without PHY cost (§5.1, Fig. 6b).
+
+OAI's "L2 simulator" is "an emulation mode without the physical layer"
+used to scale the UE count beyond what radio hardware serves.  Here it
+is a :class:`~repro.ran.base_station.BaseStation` with the modelled PHY
+CPU charge disabled and a helper to mass-attach UEs with synthetic
+full-buffer traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.simclock import SimClock
+from repro.metrics.cpu import CpuMeter
+from repro.ran.base_station import BaseStation, BaseStationConfig
+from repro.ran.phy import PhyConfig
+from repro.traffic.flows import FiveTuple, Packet
+
+
+class L2Simulator(BaseStation):
+    """Base station in emulation mode: no PHY processing cost."""
+
+    def __init__(
+        self,
+        config: Optional[BaseStationConfig] = None,
+        clock: Optional[SimClock] = None,
+        cpu_meter: Optional[CpuMeter] = None,
+    ) -> None:
+        base = config or BaseStationConfig(
+            phy=PhyConfig(rat="lte", n_prbs=25, cores=8, cpu_load_fraction=0.0)
+        )
+        super().__init__(
+            replace(base, model_phy_cpu=False), clock or SimClock(), cpu_meter
+        )
+
+    def attach_ues(self, count: int, cqi: int = 12, fixed_mcs: Optional[int] = 28) -> None:
+        """Attach ``count`` UEs with rnti 1..count."""
+        for rnti in range(1, count + 1):
+            self.attach_ue(rnti, cqi=cqi, fixed_mcs=fixed_mcs)
+
+    def keep_buffers_full(self, bytes_per_ue: int = 20_000) -> None:
+        """Top up every UE's RLC buffer each TTI (full-buffer traffic).
+
+        Keeps the MAC busy so the agent's statistics carry realistic
+        non-zero counters, without modelling individual flows.
+        """
+
+        def top_up() -> None:
+            now = self.clock.now
+            for rnti in list(self.mac.ues):
+                entity = self.mac.rlc_of(rnti, 1)
+                if entity.backlog_bytes < bytes_per_ue:
+                    flow = FiveTuple("10.0.0.1", f"10.0.1.{rnti}", 5001, 5001, "udp")
+                    packet = Packet(flow=flow, size=1400, created_at=now)
+                    entity.enqueue(packet, now)
+
+        self.clock.call_every(self.config.phy.tti_s, top_up)

@@ -1,0 +1,144 @@
+"""PHY abstraction: link adaptation tables and transport block sizing.
+
+The reproduction does not model waveforms; what the upper layers (and
+therefore the FlexRIC experiments) need from the PHY is:
+
+* how many bytes fit into a TTI for a UE at a given MCS over a given
+  number of physical resource blocks (PRBs) — :func:`transport_block_bits`,
+* a per-UE channel quality (CQI) process and CQI->MCS mapping —
+  :class:`ChannelModel`,
+* a CPU cost model for the user-plane baseline of Fig. 6a (the paper's
+  8.66 % NR / 6.55 % LTE machine loads come from real signal
+  processing; here they are charged as modelled costs so the *relative*
+  agent overhead is meaningful).
+
+The TBS approximation (PRBs x 12 subcarriers x 14 symbols x bits/symbol
+x code rate x 0.85 overhead factor) lands a 106-PRB NR carrier at
+MCS 20 near 58 Mbit/s — matching the ~60 Mbit/s cell throughput of the
+paper's Fig. 13 setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Subcarriers per PRB and symbols per TTI (normal cyclic prefix).
+_SUBCARRIERS = 12
+_SYMBOLS = 14
+#: Fraction of resource elements left after control/reference overhead.
+_OVERHEAD_FACTOR = 0.85
+
+#: MCS index -> (modulation order Qm, target code rate).  A condensed
+#: 29-entry table following the shape of 3GPP TS 38.214 table 5.1.3.1-1.
+_MCS_TABLE: Tuple[Tuple[int, float], ...] = (
+    (2, 0.12), (2, 0.15), (2, 0.19), (2, 0.25), (2, 0.30),  # 0-4 QPSK
+    (2, 0.37), (2, 0.44), (2, 0.51), (2, 0.59), (2, 0.66),  # 5-9
+    (4, 0.33), (4, 0.37), (4, 0.42), (4, 0.48), (4, 0.54),  # 10-14 16QAM
+    (4, 0.60), (4, 0.64), (6, 0.43), (6, 0.46), (6, 0.50),  # 15-19
+    (6, 0.55), (6, 0.60), (6, 0.65), (6, 0.70), (6, 0.75),  # 20-24 64QAM
+    (6, 0.80), (6, 0.85), (6, 0.89), (6, 0.93),             # 25-28
+)
+
+#: CQI (1..15) -> MCS mapping (conservative link adaptation).
+_CQI_TO_MCS: Tuple[int, ...] = (0, 0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28)
+
+
+def mcs_parameters(mcs: int) -> Tuple[int, float]:
+    """(modulation order, code rate) for an MCS index (0..28)."""
+    if not 0 <= mcs < len(_MCS_TABLE):
+        raise ValueError(f"MCS out of range: {mcs}")
+    return _MCS_TABLE[mcs]
+
+
+def cqi_to_mcs(cqi: int) -> int:
+    """Map a CQI report (1..15) to an MCS index."""
+    if not 1 <= cqi <= 15:
+        raise ValueError(f"CQI out of range: {cqi}")
+    return _CQI_TO_MCS[cqi]
+
+
+def transport_block_bits(mcs: int, n_prbs: int) -> int:
+    """Bits transportable in one TTI over ``n_prbs`` PRBs at ``mcs``."""
+    if n_prbs < 0:
+        raise ValueError(f"negative PRB count: {n_prbs}")
+    qm, rate = mcs_parameters(mcs)
+    resource_elements = n_prbs * _SUBCARRIERS * _SYMBOLS * _OVERHEAD_FACTOR
+    return int(resource_elements * qm * rate)
+
+
+def transport_block_bytes(mcs: int, n_prbs: int) -> int:
+    return transport_block_bits(mcs, n_prbs) // 8
+
+
+@dataclass(frozen=True)
+class PhyConfig:
+    """Carrier and host parameters of one cell.
+
+    ``cpu_load_fraction`` is the fraction of the whole machine the
+    user-plane signal processing consumes when active (Fig. 6a baseline:
+    0.0655 for the LTE cell on 8 cores, 0.0866 for NR on 16).
+    """
+
+    rat: str = "nr"                 # "lte" or "nr"
+    n_prbs: int = 106
+    tti_s: float = 0.001
+    cores: int = 16
+    cpu_load_fraction: float = 0.0866
+    band: str = "n78"
+
+    def __post_init__(self) -> None:
+        if self.rat not in ("lte", "nr"):
+            raise ValueError(f"unknown RAT {self.rat!r}")
+        if self.n_prbs <= 0:
+            raise ValueError(f"non-positive PRB count: {self.n_prbs}")
+        if self.tti_s <= 0.0:
+            raise ValueError(f"non-positive TTI: {self.tti_s}")
+
+    @property
+    def bandwidth_mhz(self) -> float:
+        """Approximate carrier bandwidth from the PRB count."""
+        return self.n_prbs * 0.18 if self.rat == "lte" else self.n_prbs * 0.18 + 1.0
+
+    def phy_cpu_cost_per_tti(self) -> float:
+        """Modelled CPU-seconds one TTI of user-plane processing costs."""
+        return self.cpu_load_fraction * self.cores * self.tti_s
+
+
+#: Pre-canned cell configurations matching the paper's testbeds.
+LTE_CELL_5MHZ = PhyConfig(rat="lte", n_prbs=25, cores=8, cpu_load_fraction=0.0655, band="b7")
+LTE_CELL_10MHZ = PhyConfig(rat="lte", n_prbs=50, cores=8, cpu_load_fraction=0.0655, band="b7")
+NR_CELL_20MHZ = PhyConfig(rat="nr", n_prbs=106, cores=16, cpu_load_fraction=0.0866, band="n78")
+
+
+class ChannelModel:
+    """Deterministic per-UE channel-quality process.
+
+    A fixed base CQI per UE plus an optional slow sinusoid-free
+    variation driven by a linear congruential generator, so runs are
+    reproducible without ``random``.
+    """
+
+    _LCG_A = 6364136223846793005
+    _LCG_C = 1442695040888963407
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, base_cqi: int = 12, variation: int = 0, seed: int = 1) -> None:
+        if not 1 <= base_cqi <= 15:
+            raise ValueError(f"CQI out of range: {base_cqi}")
+        if variation < 0 or base_cqi - variation < 1 or base_cqi + variation > 15:
+            raise ValueError(f"variation {variation} out of range for CQI {base_cqi}")
+        self.base_cqi = base_cqi
+        self.variation = variation
+        self._state = seed & self._MASK
+
+    def _next(self) -> int:
+        self._state = (self._state * self._LCG_A + self._LCG_C) & self._MASK
+        return self._state >> 33
+
+    def cqi_at(self, rnti: int, now: float) -> int:
+        """CQI of ``rnti`` at time ``now`` (stationary distribution)."""
+        if self.variation == 0:
+            return self.base_cqi
+        wobble = self._next() % (2 * self.variation + 1) - self.variation
+        return max(1, min(15, self.base_cqi + wobble))

@@ -1,0 +1,7 @@
+"""Compatibility shim: the discrete-event engine lives in
+:mod:`repro.core.simclock` (it is shared by non-RAN components such as
+traffic generators and the TC dataplane)."""
+
+from repro.core.simclock import Event, PeriodicTask, SimClock
+
+__all__ = ["Event", "PeriodicTask", "SimClock"]

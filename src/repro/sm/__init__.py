@@ -1,0 +1,49 @@
+"""Pre-defined E2 service models (§4.1.1, §6).
+
+The SDK ships "a bundle of pre-defined RAN functions that implement a
+set of SMs": monitoring (MAC/RLC/PDCP statistics, RRC configuration),
+slicing control (SC SM, §6.1.2), traffic control (TC SM, §6.1.1) and
+the HelloWorld SM used for the ping experiments (§5.2).
+
+Each module defines the SM's payload schema (value-tree encode/decode
+helpers), the agent-side :class:`~repro.core.agent.ran_function.RanFunction`
+implementation, and controller-side helpers to build triggers and
+control payloads.  Every SM supports a per-SM codec choice — the inner
+half of E2's double encoding (§5.2).
+"""
+
+from repro.sm.base import (
+    PeriodicReportFunction,
+    PeriodicTrigger,
+    SmInfo,
+    decode_payload,
+    encode_payload,
+)
+from repro.sm import (
+    hw,
+    kpm,
+    mac_stats,
+    ni,
+    pdcp_stats,
+    rlc_stats,
+    rrc_conf,
+    slice_ctrl,
+    traffic_ctrl,
+)
+
+__all__ = [
+    "PeriodicReportFunction",
+    "PeriodicTrigger",
+    "SmInfo",
+    "decode_payload",
+    "encode_payload",
+    "hw",
+    "kpm",
+    "ni",
+    "mac_stats",
+    "rlc_stats",
+    "pdcp_stats",
+    "rrc_conf",
+    "slice_ctrl",
+    "traffic_ctrl",
+]

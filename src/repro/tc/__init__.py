@@ -1,0 +1,28 @@
+"""Traffic-control dataplane (Fig. 10).
+
+The TC SM's backend: an OSI classifier segregating packets into FIFO
+queues, a queue scheduler, and a pacer limiting the rate into the RLC.
+Components are hot-swappable at runtime ("we implemented the queues,
+the classifier, the scheduler and the pacer as shared objects to enable
+loading them online", §6.1.1) — here they are plain objects replaced
+through the :class:`~repro.tc.pipeline.TcPipeline` API.
+"""
+
+from repro.tc.classifier import Classifier, FilterRule
+from repro.tc.queues import FifoQueue
+from repro.tc.scheduler import FifoSched, QueueScheduler, RoundRobinSched
+from repro.tc.pacer import BdpPacer, NonePacer, Pacer
+from repro.tc.pipeline import TcPipeline
+
+__all__ = [
+    "Classifier",
+    "FilterRule",
+    "FifoQueue",
+    "FifoSched",
+    "QueueScheduler",
+    "RoundRobinSched",
+    "BdpPacer",
+    "NonePacer",
+    "Pacer",
+    "TcPipeline",
+]

@@ -1,0 +1,67 @@
+"""Pacers: rate limiting into the RLC.
+
+The 5G-BDP pacer (Irazabal et al. [19, 21]) "maintains the DRB buffer
+uncongested and backlogs the packets into the TC SM.  It tries to
+submit just enough packets to the DRB not to starve it, without
+bloating it" (§6.1.1).  The implementation targets a bandwidth-delay
+product worth of bytes in the RLC: given the recent service rate of
+the bearer, it releases packets only while the RLC backlog is below
+``rate x target_delay`` (floored at a couple of TTIs so the MAC never
+starves).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Pacer:
+    """Computes how many bytes may be released towards the RLC now."""
+
+    name = "base"
+
+    def budget_bytes(self, now: float, rlc_backlog: int, rate_bps: float) -> int:
+        raise NotImplementedError
+
+
+class NonePacer(Pacer):
+    """No pacing: everything is released immediately."""
+
+    name = "none"
+
+    def budget_bytes(self, now: float, rlc_backlog: int, rate_bps: float) -> int:
+        return 1 << 30
+
+
+class BdpPacer(Pacer):
+    """5G-BDP pacer: keep the RLC backlog near one BDP.
+
+    Parameters:
+        target_ms: delay budget the RLC buffer may hold (default 8 ms).
+        min_bytes: floor so the MAC is never starved when the rate
+            estimate collapses (default two 1500 B MTUs).
+    """
+
+    name = "bdp"
+
+    def __init__(self, target_ms: float = 8.0, min_bytes: int = 3000) -> None:
+        if target_ms <= 0.0:
+            raise ValueError(f"non-positive target: {target_ms}")
+        self.target_ms = target_ms
+        self.min_bytes = min_bytes
+
+    def budget_bytes(self, now: float, rlc_backlog: int, rate_bps: float) -> int:
+        bdp = int(rate_bps / 8.0 * self.target_ms / 1000.0)
+        target = max(bdp, self.min_bytes)
+        return max(0, target - rlc_backlog)
+
+
+def make_pacer(kind: str, params: Dict[str, float]) -> Pacer:
+    if kind == "none":
+        return NonePacer()
+    if kind == "bdp":
+        return BdpPacer(
+            target_ms=float(params.get("target_ms", 8.0)),
+            min_bytes=int(params.get("min_bytes", 3000)),
+        )
+    raise ValueError(f"unknown pacer {kind!r}")

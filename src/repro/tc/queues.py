@@ -1,0 +1,66 @@
+"""FIFO queues of the TC dataplane."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.traffic.flows import Packet
+
+
+class FifoQueue:
+    """Byte-accounted FIFO with tail drop and sojourn statistics."""
+
+    def __init__(self, queue_id: int, capacity_bytes: int = 4_000_000) -> None:
+        self.queue_id = queue_id
+        self.capacity_bytes = capacity_bytes
+        self._queue: Deque[Packet] = deque()
+        self.backlog_bytes = 0
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.last_sojourn_s = 0.0
+
+    def push(self, packet: Packet, now: float) -> bool:
+        if self.backlog_bytes + packet.size > self.capacity_bytes:
+            self.dropped += 1
+            return False
+        packet.enqueued_tc = now
+        self._queue.append(packet)
+        self.backlog_bytes += packet.size
+        self.enqueued += 1
+        return True
+
+    def pop(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self.backlog_bytes -= packet.size
+        self.dequeued += 1
+        packet.dequeued_tc = now
+        if packet.enqueued_tc is not None and now >= packet.enqueued_tc:
+            self.last_sojourn_s = now - packet.enqueued_tc
+        return packet
+
+    def peek_size(self) -> Optional[int]:
+        """Size of the head packet, or None when empty."""
+        return self._queue[0].size if self._queue else None
+
+    def head_sojourn_s(self, now: float) -> float:
+        if not self._queue:
+            return 0.0
+        enqueued = self._queue[0].enqueued_tc
+        return 0.0 if enqueued is None else now - enqueued
+
+    @property
+    def backlog_pkts(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"FifoQueue(id={self.queue_id}, backlog={self.backlog_bytes}B/"
+            f"{len(self._queue)}pkts, dropped={self.dropped})"
+        )

@@ -1,0 +1,27 @@
+"""Traffic generators and the packet model.
+
+Replaces the paper's traffic tools (irtt for G.711 VoIP, iperf3 with
+TCP Cubic) with in-simulator equivalents that drive the same downlink
+path: :mod:`repro.traffic.voip` produces the 172 B / 20 ms CBR flow,
+:mod:`repro.traffic.cubic` models TCP Cubic's congestion window against
+the RLC bottleneck buffer (the feedback loop that creates bufferbloat),
+and :mod:`repro.traffic.iperf` provides simple full-buffer/greedy and
+on-off sources for the slicing experiments.
+"""
+
+from repro.traffic.flows import DeliveryHub, FiveTuple, FlowStats, Packet
+from repro.traffic.voip import VoipFlow
+from repro.traffic.cubic import CubicFlow, CubicState
+from repro.traffic.iperf import FullBufferFlow, OnOffFlow
+
+__all__ = [
+    "DeliveryHub",
+    "FiveTuple",
+    "FlowStats",
+    "Packet",
+    "VoipFlow",
+    "CubicFlow",
+    "CubicState",
+    "FullBufferFlow",
+    "OnOffFlow",
+]

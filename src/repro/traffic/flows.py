@@ -1,0 +1,113 @@
+"""Packet and flow primitives shared by generators, TC and RLC."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """Classic 5-tuple identifying a flow."""
+
+    src_addr: str
+    dst_addr: str
+    src_port: int
+    dst_port: int
+    protocol: str  # "udp" / "tcp"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.protocol}:{self.src_addr}:{self.src_port}->"
+            f"{self.dst_addr}:{self.dst_port}"
+        )
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One downlink IP packet traversing SDAP -> TC -> PDCP -> RLC -> MAC.
+
+    Timestamps are filled in as the packet crosses each stage, so
+    per-stage sojourn times (Fig. 11a/11b) fall out of subtraction.
+    """
+
+    flow: FiveTuple
+    size: int
+    created_at: float
+    seq: int = 0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    enqueued_tc: Optional[float] = None
+    dequeued_tc: Optional[float] = None
+    enqueued_rlc: Optional[float] = None
+    delivered_at: Optional[float] = None
+
+    @property
+    def tc_sojourn_s(self) -> Optional[float]:
+        if self.enqueued_tc is None or self.dequeued_tc is None:
+            return None
+        return self.dequeued_tc - self.enqueued_tc
+
+    @property
+    def rlc_sojourn_s(self) -> Optional[float]:
+        if self.enqueued_rlc is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.enqueued_rlc
+
+    @property
+    def one_way_delay_s(self) -> Optional[float]:
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.created_at
+
+
+class DeliveryHub:
+    """Routes delivered packets back to their generating flow.
+
+    Installed as an RLC entity's ``on_delivered`` callback; multiple
+    flows sharing one bearer each register their 5-tuple.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: dict = {}
+
+    def register(self, flow: FiveTuple, handler) -> None:
+        self._handlers[flow] = handler
+
+    def unregister(self, flow: FiveTuple) -> None:
+        self._handlers.pop(flow, None)
+
+    def __call__(self, packet: "Packet") -> None:
+        handler = self._handlers.get(packet.flow)
+        if handler is not None:
+            handler(packet)
+
+
+@dataclass
+class FlowStats:
+    """Per-flow delivery accounting collected at the receiver side."""
+
+    sent_pkts: int = 0
+    sent_bytes: int = 0
+    delivered_pkts: int = 0
+    delivered_bytes: int = 0
+    dropped_pkts: int = 0
+    delays_s: List[float] = field(default_factory=list)
+
+    def record_sent(self, packet: Packet) -> None:
+        self.sent_pkts += 1
+        self.sent_bytes += packet.size
+
+    def record_delivered(self, packet: Packet) -> None:
+        self.delivered_pkts += 1
+        self.delivered_bytes += packet.size
+        delay = packet.one_way_delay_s
+        if delay is not None:
+            self.delays_s.append(delay)
+
+    def record_dropped(self, packet: Packet) -> None:
+        self.dropped_pkts += 1

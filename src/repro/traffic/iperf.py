@@ -1,0 +1,110 @@
+"""Full-buffer and on-off downlink sources (the iperf workloads of
+§6.1.2 and §6.2).
+
+The slicing experiments generate "constant downlink traffic ... such
+that the radio resources of the cell are exhausted at all times"
+(Fig. 13) and on-off patterns where a slice goes idle so another can
+reclaim resources (Fig. 13b, Fig. 15).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.core.simclock import PeriodicTask, SimClock
+from repro.traffic.flows import FiveTuple, FlowStats, Packet
+
+
+class FullBufferFlow:
+    """Keeps the destination's queue topped up every TTI."""
+
+    PACKET_BYTES = 1400
+
+    def __init__(
+        self,
+        clock: SimClock,
+        sink: Callable[[Packet], bool],
+        backlog_probe: Callable[[], int],
+        flow: Optional[FiveTuple] = None,
+        target_backlog: int = 60_000,
+        period_s: float = 0.001,
+    ) -> None:
+        self.clock = clock
+        self.sink = sink
+        self.backlog_probe = backlog_probe
+        self.flow = flow or FiveTuple("10.0.0.3", "10.0.1.1", 5202, 5202, "udp")
+        self.target_backlog = target_backlog
+        self.period_s = period_s
+        self.stats = FlowStats()
+        self._seq = 0
+        self._task: Optional[PeriodicTask] = None
+
+    def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("flow already started")
+        self._task = self.clock.call_every(self.period_s, self._top_up)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None
+
+    def _top_up(self) -> None:
+        # Bound injections per tick: if the probe does not reflect our
+        # own injections (e.g. the queue drains instantly), one tick
+        # still only offers one target's worth of packets.
+        max_packets = self.target_backlog // self.PACKET_BYTES + 1
+        injected = 0
+        while self.backlog_probe() < self.target_backlog and injected < max_packets:
+            injected += 1
+            self._seq += 1
+            packet = Packet(
+                flow=self.flow,
+                size=self.PACKET_BYTES,
+                created_at=self.clock.now,
+                seq=self._seq,
+            )
+            self.stats.record_sent(packet)
+            if not self.sink(packet):
+                self.stats.record_dropped(packet)
+                break
+
+
+class OnOffFlow:
+    """Full-buffer source gated by an on/off schedule.
+
+    ``schedule`` is a sequence of (start_s, stop_s) intervals during
+    which the flow transmits; outside them the destination queue drains
+    and the slice appears idle to the scheduler.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        inner: FullBufferFlow,
+        schedule: Sequence[Tuple[float, float]],
+    ) -> None:
+        self.clock = clock
+        self.inner = inner
+        self.schedule = list(schedule)
+        for start, stop in self.schedule:
+            if stop <= start:
+                raise ValueError(f"bad interval ({start}, {stop})")
+
+    def arm(self) -> None:
+        """Install the schedule on the clock."""
+        for start, stop in self.schedule:
+            self.clock.call_at(start, self._start_inner)
+            self.clock.call_at(stop, self._stop_inner)
+
+    def _start_inner(self) -> None:
+        if not self.inner.running:
+            self.inner.start()
+
+    def _stop_inner(self) -> None:
+        if self.inner.running:
+            self.inner.stop()

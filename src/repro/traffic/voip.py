@@ -1,0 +1,84 @@
+"""G.711 VoIP flow generator (the irtt workload of §6.1.1).
+
+"One minute G.711 VoIP conversation through UDP data frames of 172
+bytes with an interval of 20 ms ... resulting in a bandwidth
+consumption of 64 Kbps."  Each frame's RTT is the downlink one-way
+delay through the simulated stack plus a modelled access/uplink
+component (the paper observes 20-40 ms RTT with no competing traffic,
+attributable to buffers outside the downlink path).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.simclock import PeriodicTask, SimClock
+from repro.traffic.flows import FiveTuple, FlowStats, Packet
+
+#: Deterministic pseudo-jitter (LCG) so runs reproduce bit-exactly.
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_MASK = (1 << 64) - 1
+
+
+class VoipFlow:
+    """CBR 172 B / 20 ms flow with per-packet RTT accounting."""
+
+    FRAME_BYTES = 172
+    INTERVAL_S = 0.020
+
+    def __init__(
+        self,
+        clock: SimClock,
+        sink: Callable[[Packet], bool],
+        flow: Optional[FiveTuple] = None,
+        base_rtt_ms: float = 20.0,
+        jitter_ms: float = 18.0,
+        seed: int = 7,
+    ) -> None:
+        self.clock = clock
+        self.sink = sink
+        self.flow = flow or FiveTuple("10.0.0.1", "10.0.1.1", 2112, 2112, "udp")
+        self.base_rtt_ms = base_rtt_ms
+        self.jitter_ms = jitter_ms
+        self.stats = FlowStats()
+        self.rtts_ms: List[float] = []
+        self._seq = 0
+        self._task: Optional[PeriodicTask] = None
+        self._lcg = seed & _MASK
+
+    def _jitter_ms(self) -> float:
+        self._lcg = (self._lcg * _LCG_A + _LCG_C) & _MASK
+        return (self._lcg >> 33) % 1000 / 1000.0 * self.jitter_ms
+
+    def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("flow already started")
+        self._task = self.clock.call_every(self.INTERVAL_S, self._emit)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _emit(self) -> None:
+        self._seq += 1
+        packet = Packet(
+            flow=self.flow,
+            size=self.FRAME_BYTES,
+            created_at=self.clock.now,
+            seq=self._seq,
+        )
+        self.stats.record_sent(packet)
+        if not self.sink(packet):
+            self.stats.record_dropped(packet)
+
+    def on_delivered(self, packet: Packet) -> None:
+        """DeliveryHub handler: close the RTT sample for this frame."""
+        self.stats.record_delivered(packet)
+        one_way_ms = (packet.one_way_delay_s or 0.0) * 1000.0
+        self.rtts_ms.append(one_way_ms + self.base_rtt_ms + self._jitter_ms())
+
+    @property
+    def frames_sent(self) -> int:
+        return self.stats.sent_pkts

@@ -1,0 +1,261 @@
+"""Tests for the FlexRAN and O-RAN baseline implementations."""
+
+import pytest
+
+from repro.baselines.flexran import (
+    FlexRanAgent,
+    FlexRanController,
+    decode_flexran,
+    encode_flexran,
+    protocol as flexran_protocol,
+)
+from repro.baselines.oran import (
+    HwXapp,
+    OranRic,
+    PLATFORM_COMPONENTS,
+    RmrMessage,
+    RmrRouter,
+    StatsXapp,
+)
+from repro.baselines.oran.platform import platform_baseline_ram_mb, platform_image_total_mb
+from repro.baselines.oran.rmr import RmrEndpoint
+from repro.core.agent import Agent, AgentConfig
+from repro.core.e2ap.ies import GlobalE2NodeId, NodeKind
+from repro.core.transport import InProcTransport
+from repro.metrics.cpu import CpuMeter
+from repro.sm import hw, mac_stats
+from repro.sm.mac_stats import MacStatsFunction, synthetic_provider
+
+
+class TestFlexRanProtocol:
+    def test_roundtrip_with_header(self):
+        data = encode_flexran(flexran_protocol.MSG_HELLO, {"agent_id": 3})
+        msg_type, body = decode_flexran(data)
+        assert msg_type == flexran_protocol.MSG_HELLO
+        assert body["agent_id"] == 3
+
+    def test_single_encoding_smaller_than_double(self):
+        """FlexRAN skips double encoding -> smaller than FlexRIC for
+        the same logical payload (the Fig. 7b advantage)."""
+        from repro.experiments.common import hw_exchange_sizes
+
+        echo = flexran_protocol.echo_request(1, b"x" * 100)
+        control, _ = hw_exchange_sizes("asn", "asn", 100)
+        assert len(echo) < control
+
+
+class TestFlexRanStack:
+    def _wire(self):
+        transport = InProcTransport()
+        controller = FlexRanController()
+        controller.listen(transport, "flexran")
+        provider = synthetic_provider(4)
+        agent = FlexRanAgent(
+            agent_id=1,
+            transport=transport,
+            mac_provider=lambda: provider(None),
+            rlc_provider=lambda: {"bearers": []},
+            pdcp_provider=lambda: {"bearers": []},
+        )
+        agent.connect("flexran")
+        return controller, agent
+
+    def test_hello_registers(self):
+        controller, _agent = self._wire()
+        assert controller.agent_ids == [1]
+
+    def test_stats_land_in_rib(self):
+        controller, agent = self._wire()
+        agent.pump()
+        agent.pump()
+        assert controller.rib.reports_stored == 2
+        assert controller.rib.latest[1]["tick"] == 2
+        assert (1, 0) in controller.rib.ue_index  # per-UE index
+
+    def test_rib_history_bounded(self):
+        controller, agent = self._wire()
+        for _ in range(controller.rib.HISTORY + 20):
+            agent.pump()
+        assert len(controller.rib.history[1]) == controller.rib.HISTORY
+
+    def test_poll_reports_fresh_count(self):
+        controller, agent = self._wire()
+        assert controller.poll_once() == 0
+        agent.pump()
+        agent.pump()
+        assert controller.poll_once() == 2
+        assert controller.poll_once() == 0  # idle poll still ran
+        assert controller.polls_run == 3
+
+    def test_poll_apps_invoked_every_iteration(self):
+        controller, agent = self._wire()
+        calls = []
+        controller.add_poll_app(calls.append)
+        controller.poll_once()
+        agent.pump()
+        controller.poll_once()
+        assert calls == [0, 1]
+
+    def test_echo(self):
+        controller, _agent = self._wire()
+        controller.echo(1, 7, b"ping")
+        assert controller.echo_replies == [(7, b"ping")]
+
+    def test_disconnect_removes_agent(self):
+        controller, agent = self._wire()
+        agent.disconnect()
+        assert controller.agent_ids == []
+
+    def test_memory_grows_with_history(self):
+        controller, agent = self._wire()
+        before = controller.memory.measure_bytes()
+        for _ in range(50):
+            agent.pump()
+        assert controller.memory.measure_bytes() > before
+
+
+class TestRmr:
+    def test_message_pack_roundtrip(self):
+        message = RmrMessage(msg_type=12050, meid="00101/1/GNB", payload=b"data")
+        assert RmrMessage.unpack(message.pack()) == message
+
+    def test_unpack_bad_magic(self):
+        with pytest.raises(ValueError):
+            RmrMessage.unpack(b"XXXX" + b"\x00" * 50)
+
+    def test_unpack_short_frame(self):
+        with pytest.raises(ValueError):
+            RmrMessage.unpack(b"\x01")
+
+    def test_routing_table(self):
+        router = RmrRouter()
+        seen = []
+        endpoint = RmrEndpoint("x", lambda m: seen.append(m))
+        router.register(endpoint)
+        router.add_route(100, "x")
+        sender = CpuMeter("sender")
+        assert router.send(sender, RmrMessage(100, "m", b"p"))
+        assert seen[0].payload == b"p"
+        assert not router.send(sender, RmrMessage(999, "m", b"p"))
+
+    def test_duplicate_endpoint_rejected(self):
+        router = RmrRouter()
+        router.register(RmrEndpoint("x", lambda m: None))
+        with pytest.raises(ValueError):
+            router.register(RmrEndpoint("x", lambda m: None))
+
+    def test_route_to_unknown_endpoint_rejected(self):
+        with pytest.raises(KeyError):
+            RmrRouter().add_route(1, "ghost")
+
+
+class TestOranPlatform:
+    def test_fifteen_components(self):
+        assert len(PLATFORM_COMPONENTS) == 15
+
+    def test_table2_platform_total(self):
+        assert platform_image_total_mb() == 2469
+
+    def test_baseline_ram_near_1gb(self):
+        assert 900 <= platform_baseline_ram_mb() <= 1100
+
+
+class TestOranRic:
+    def _wire(self, xapp_cls=HwXapp, sm_codec="asn"):
+        transport = InProcTransport()
+        ric = OranRic()
+        ric.listen(transport, "oran")
+        xapp = xapp_cls(ric.router, ric.dbaas_store, sm_codec=sm_codec)
+        ric.deploy_xapp(xapp)
+        agent = Agent(
+            AgentConfig(
+                node_id=GlobalE2NodeId("00101", 1, NodeKind.GNB), e2ap_codec="asn"
+            ),
+            transport=transport,
+        )
+        return transport, ric, xapp, agent
+
+    def test_setup_registers_in_rnib(self):
+        _t, ric, xapp, agent = self._wire()
+        agent.register_function(hw.HwRanFunction(sm_codec="asn"))
+        agent.connect("oran")
+        assert xapp.poll_rnib() == ["00101/1/GNB"]
+        assert xapp.function_id_for("00101/1/GNB", hw.INFO.oid) == hw.INFO.default_function_id
+        assert xapp.function_id_for("00101/1/GNB", "oid.none") is None
+
+    def test_ping_through_two_hops(self):
+        _t, ric, xapp, agent = self._wire()
+        agent.register_function(hw.HwRanFunction(sm_codec="asn"))
+        agent.connect("oran")
+        meid = xapp.poll_rnib()[0]
+        fid = xapp.function_id_for(meid, hw.INFO.oid)
+        xapp.subscribe(meid, fid, 0)
+        xapp.ping(meid, fid, b"z" * 64)
+        assert len(xapp.rtts_us) == 1
+
+    def test_subscription_path_through_submgr(self):
+        _t, ric, xapp, agent = self._wire()
+        agent.register_function(hw.HwRanFunction(sm_codec="asn"))
+        agent.connect("oran")
+        meid = xapp.poll_rnib()[0]
+        xapp.subscribe(meid, hw.INFO.default_function_id, 0)
+        assert len(ric.submgr.subscriptions) == 1
+
+    def test_stats_xapp_double_decode_and_store(self):
+        _t, ric, xapp, agent = self._wire(xapp_cls=StatsXapp)
+        function = MacStatsFunction(provider=synthetic_provider(8), sm_codec="asn")
+        agent.register_function(function)
+        agent.connect("oran")
+        meid = xapp.poll_rnib()[0]
+        xapp.subscribe(meid, mac_stats.INFO.default_function_id, 1.0)
+        function.pump()
+        function.pump()
+        assert xapp.reports_stored == 2
+        assert len(xapp.reports[meid]["ues"]) == 8
+        # The shared data layer received its copy too.
+        assert any(key.startswith("stats/") for key in ric.dbaas_store)
+
+    def test_double_decode_costs_more_than_flexric(self):
+        """The architectural claim of §5.4: for identical traffic the
+        O-RAN path burns more CPU than the FlexRIC server."""
+        from repro.controllers.monitoring import StatsMonitorIApp
+        from repro.core.server import Server, ServerConfig
+
+        # O-RAN side.
+        _t, ric, xapp, agent = self._wire(xapp_cls=StatsXapp)
+        function = MacStatsFunction(provider=synthetic_provider(16), sm_codec="asn")
+        agent.register_function(function)
+        agent.connect("oran")
+        meid = xapp.poll_rnib()[0]
+        xapp.subscribe(meid, mac_stats.INFO.default_function_id, 1.0)
+        ric.e2term.cpu.reset()
+        xapp.cpu.reset()
+        for _ in range(30):
+            function.pump()
+        oran_cpu = ric.total_cpu_busy_s()
+
+        # FlexRIC side, same workload shape.
+        transport = InProcTransport()
+        server = Server(ServerConfig(e2ap_codec="fb"))
+        server.listen(transport, "ric")
+        monitor = StatsMonitorIApp(oids=[mac_stats.INFO.oid], period_ms=1.0, sm_codec="fb")
+        server.add_iapp(monitor)
+        agent2 = Agent(
+            AgentConfig(node_id=GlobalE2NodeId("00101", 2, NodeKind.GNB)), transport
+        )
+        function2 = MacStatsFunction(provider=synthetic_provider(16), sm_codec="fb")
+        agent2.register_function(function2)
+        agent2.connect("ric")
+        server.cpu.reset()
+        for _ in range(30):
+            function2.pump()
+        assert oran_cpu > 2.0 * server.cpu.busy_s
+
+    def test_memory_dominated_by_platform(self):
+        _t, ric, _xapp, _agent = self._wire()
+        assert ric.memory_mb() >= 900.0
+
+    def test_image_size_table(self):
+        sizes = OranRic.image_sizes_mb()
+        assert len(sizes) == 15
+        assert sum(sizes.values()) == 2469

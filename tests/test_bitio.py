@@ -1,0 +1,145 @@
+"""Unit tests for the bit-level reader/writer."""
+
+import pytest
+
+from repro.core.codec.bitio import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_bit_msb_first(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        assert writer.getvalue() == b"\x80"
+
+    def test_three_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.getvalue() == b"\xa0"
+
+    def test_align_pads_zeros(self):
+        writer = BitWriter()
+        writer.write_bits(0b1, 1)
+        writer.align()
+        assert writer.getvalue() == b"\x80"
+        assert writer.bit_length == 8
+
+    def test_align_noop_on_boundary(self):
+        writer = BitWriter()
+        writer.write_bits(0xAB, 8)
+        writer.align()
+        assert writer.bit_length == 8
+
+    def test_write_bytes_aligns_first(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.write_bytes(b"\xff")
+        assert writer.getvalue() == b"\x80\xff"
+
+    def test_bit_length_tracks_partial(self):
+        writer = BitWriter()
+        writer.write_bits(0, 3)
+        assert writer.bit_length == 3
+
+    def test_empty_bit_length(self):
+        assert BitWriter().bit_length == 0
+
+    def test_value_too_wide_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(4, 2)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(0, -1)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(-1, 8)
+
+    def test_zero_width_writes_nothing(self):
+        writer = BitWriter()
+        writer.write_bits(0, 0)
+        assert writer.bit_length == 0
+
+
+class TestVarlen:
+    @pytest.mark.parametrize("length", [0, 1, 127, 128, 16383, 16384, 1 << 20])
+    def test_roundtrip(self, length):
+        writer = BitWriter()
+        writer.write_varlen(length)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_varlen() == length
+
+    def test_short_form_is_one_octet(self):
+        writer = BitWriter()
+        writer.write_varlen(5)
+        assert len(writer.getvalue()) == 1
+
+    def test_two_octet_form(self):
+        writer = BitWriter()
+        writer.write_varlen(300)
+        assert len(writer.getvalue()) == 2
+
+    def test_long_form(self):
+        writer = BitWriter()
+        writer.write_varlen(1 << 20)
+        assert len(writer.getvalue()) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_varlen(-1)
+
+
+class TestUnsigned:
+    @pytest.mark.parametrize("value", [0, 1, 255, 256, 1 << 31, 1 << 64, 1 << 100])
+    def test_roundtrip(self, value):
+        writer = BitWriter()
+        writer.write_unsigned(value)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_unsigned() == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_unsigned(-5)
+
+
+class TestBitReader:
+    def test_read_bits_msb_first(self):
+        reader = BitReader(b"\xa0")
+        assert reader.read_bits(3) == 0b101
+
+    def test_exhausted_raises(self):
+        reader = BitReader(b"")
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_read_bytes_beyond_end_raises(self):
+        reader = BitReader(b"\x01")
+        with pytest.raises(EOFError):
+            reader.read_bytes(2)
+
+    def test_align_skips_partial_octet(self):
+        reader = BitReader(b"\x80\xff")
+        reader.read_bit()
+        reader.align()
+        assert reader.read_bytes(1) == b"\xff"
+
+    def test_interleaved_bits_and_bytes(self):
+        writer = BitWriter()
+        writer.write_bits(0b11, 2)
+        writer.write_bytes(b"xy")
+        writer.write_bits(0b0101, 4)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(2) == 0b11
+        assert reader.read_bytes(2) == b"xy"
+        assert reader.read_bits(4) == 0b0101
+
+    def test_exhausted_property(self):
+        reader = BitReader(b"\x00")
+        assert not reader.exhausted
+        reader.read_bytes(1)
+        assert reader.exhausted
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00").read_bits(-2)

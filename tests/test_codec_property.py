@@ -1,0 +1,92 @@
+"""Property-based tests (hypothesis) on the codecs and bit I/O."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codec.base import get_codec, materialize
+from repro.core.codec.bitio import BitReader, BitWriter
+
+# Generic value trees within the codec model.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**80), max_value=2**80),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+    st.binary(max_size=200),
+)
+trees = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(st.text(max_size=12), children, max_size=6),
+    ),
+    max_leaves=25,
+)
+
+
+@given(tree=trees)
+@settings(max_examples=150, deadline=None)
+def test_per_roundtrip(tree):
+    codec = get_codec("asn")
+    assert materialize(codec.decode(codec.encode(tree))) == tree
+
+
+@given(tree=trees)
+@settings(max_examples=150, deadline=None)
+def test_flat_roundtrip(tree):
+    codec = get_codec("fb")
+    assert materialize(codec.decode(codec.encode(tree))) == tree
+
+
+@given(tree=trees)
+@settings(max_examples=150, deadline=None)
+def test_protobuf_roundtrip(tree):
+    codec = get_codec("pb")
+    assert materialize(codec.decode(codec.encode(tree))) == tree
+
+
+@given(tree=trees)
+@settings(max_examples=60, deadline=None)
+def test_encode_deterministic(tree):
+    for name in ("asn", "fb", "pb"):
+        codec = get_codec(name)
+        assert codec.encode(tree) == codec.encode(tree)
+
+
+@given(
+    chunks=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=255), st.integers(1, 8)),
+        max_size=40,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_bitio_roundtrip(chunks):
+    writer = BitWriter()
+    expected = []
+    for value, width in chunks:
+        value &= (1 << width) - 1
+        writer.write_bits(value, width)
+        expected.append((value, width))
+    reader = BitReader(writer.getvalue())
+    for value, width in expected:
+        assert reader.read_bits(width) == value
+
+
+@given(lengths=st.lists(st.integers(min_value=0, max_value=1 << 22), max_size=12))
+@settings(max_examples=100, deadline=None)
+def test_varlen_sequence_roundtrip(lengths):
+    writer = BitWriter()
+    for length in lengths:
+        writer.write_varlen(length)
+    reader = BitReader(writer.getvalue())
+    for length in lengths:
+        assert reader.read_varlen() == length
+
+
+@given(payload=st.binary(max_size=4096))
+@settings(max_examples=80, deadline=None)
+def test_per_octet_fragments_any_length(payload):
+    """The fragmented octet-string path must handle every length."""
+    codec = get_codec("asn")
+    assert codec.decode(codec.encode(payload)) == payload

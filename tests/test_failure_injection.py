@@ -1,0 +1,227 @@
+"""Failure-injection tests: corrupt inputs, dead peers, mid-stream cuts.
+
+The SDK sits on a network boundary; every byte that arrives may be
+garbage.  These tests assert the failure envelope: codecs raise
+:class:`CodecError` (never crash differently or hang), framing rejects
+corrupt prefixes, and connection teardown leaves no dangling state.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codec.base import CodecError, get_codec, materialize
+from repro.core.transport import Framer, InProcTransport, TransportEvents, frame_message
+from repro.core.transport.framing import FramingError
+
+
+class TestCodecFuzz:
+    @pytest.mark.parametrize("codec_name", ["asn", "fb", "pb"])
+    @given(junk=st.binary(min_size=1, max_size=300))
+    @settings(max_examples=120, deadline=None)
+    def test_random_bytes_never_crash(self, codec_name, junk):
+        """Decoding garbage either raises CodecError or yields a value
+        tree (some byte strings happen to be valid) — never any other
+        exception type."""
+        codec = get_codec(codec_name)
+        try:
+            materialize(codec.decode(junk))
+        except CodecError:
+            pass
+        except (EOFError, UnicodeDecodeError, OverflowError, MemoryError) as exc:
+            pytest.fail(f"leaked low-level exception: {type(exc).__name__}: {exc}")
+
+    @pytest.mark.parametrize("codec_name", ["asn", "fb", "pb"])
+    @given(
+        tree=st.dictionaries(st.text(max_size=8), st.integers(-1000, 1000), max_size=5),
+        cut=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_never_crashes(self, codec_name, tree, cut):
+        codec = get_codec(codec_name)
+        data = codec.encode(tree)
+        truncated = data[: max(1, int(len(data) * cut))]
+        try:
+            result = materialize(codec.decode(truncated))
+        except CodecError:
+            return
+        # A prefix may decode to a *different* valid value; it must at
+        # least be inside the value model.
+        from repro.core.codec.base import validate_tree
+
+        validate_tree(result)
+
+    @pytest.mark.parametrize("codec_name", ["asn", "fb", "pb"])
+    def test_bitflip_detected_or_tolerated(self, codec_name):
+        codec = get_codec(codec_name)
+        data = bytearray(codec.encode({"key": "value", "n": 12345}))
+        for position in range(len(data)):
+            corrupted = bytearray(data)
+            corrupted[position] ^= 0xFF
+            try:
+                materialize(codec.decode(bytes(corrupted)))
+            except CodecError:
+                pass  # detected — fine
+
+    def test_e2ap_decode_of_wrong_codec_bytes(self):
+        """ASN bytes fed to the FB decoder (codec mismatch between
+        peers) must fail cleanly."""
+        from repro.core.e2ap.messages import ResetResponse, decode_message, encode_message
+
+        data = encode_message(ResetResponse(), get_codec("asn"))
+        with pytest.raises(CodecError):
+            decode_message(data, get_codec("fb"))
+
+
+class TestFramingCorruption:
+    def test_corrupt_length_prefix(self):
+        framer = Framer()
+        good = frame_message(b"ok")
+        evil = b"\xff\xff\xff\xff" + b"boom"
+        framer.feed(good)
+        with pytest.raises(FramingError):
+            framer.feed(evil)
+
+    def test_interleaved_good_frames_survive_until_corruption(self):
+        framer = Framer()
+        out = framer.feed(frame_message(b"a") + frame_message(b"b"))
+        assert out == [b"a", b"b"]
+
+
+class TestConnectionTeardown:
+    def test_server_control_after_agent_gone(self):
+        from repro.core.agent import Agent, AgentConfig
+        from repro.core.e2ap.ies import GlobalE2NodeId, NodeKind
+        from repro.core.server import Server, ServerConfig
+        from repro.sm.hw import HwRanFunction, INFO as HW
+
+        transport = InProcTransport()
+        server = Server(ServerConfig(e2ap_codec="fb"))
+        server.listen(transport, "ric")
+        agent = Agent(
+            AgentConfig(node_id=GlobalE2NodeId("00101", 1, NodeKind.GNB)), transport
+        )
+        agent.register_function(HwRanFunction())
+        origin = agent.connect("ric")
+        conn = server.agents()[0].conn_id
+        agent.disconnect(origin)
+        with pytest.raises(ConnectionError):
+            server.control(conn, HW.default_function_id, b"", b"")
+        # RANDB and submgr are clean.
+        assert server.agents() == []
+        assert len(server.submgr) == 0
+
+    def test_subscriptions_purged_on_disconnect(self):
+        from repro.core.agent import Agent, AgentConfig
+        from repro.core.e2ap.ies import (
+            GlobalE2NodeId,
+            NodeKind,
+            RicActionDefinition,
+            RicActionKind,
+        )
+        from repro.core.server import Server, ServerConfig, SubscriptionCallbacks
+        from repro.sm.base import PeriodicTrigger
+        from repro.sm.mac_stats import MacStatsFunction, synthetic_provider, INFO as MAC
+
+        transport = InProcTransport()
+        server = Server(ServerConfig(e2ap_codec="fb"))
+        server.listen(transport, "ric")
+        agent = Agent(
+            AgentConfig(node_id=GlobalE2NodeId("00101", 1, NodeKind.GNB)), transport
+        )
+        function = MacStatsFunction(provider=synthetic_provider(2), sm_codec="fb")
+        agent.register_function(function)
+        origin = agent.connect("ric")
+        server.subscribe(
+            conn_id=server.agents()[0].conn_id,
+            ran_function_id=MAC.default_function_id,
+            event_trigger=PeriodicTrigger(1.0).to_bytes("fb"),
+            actions=[RicActionDefinition(1, RicActionKind.REPORT)],
+            callbacks=SubscriptionCallbacks(),
+        )
+        assert len(server.submgr) == 1
+        agent.disconnect(origin)
+        assert len(server.submgr) == 0
+
+    def test_agent_reconnect_gets_fresh_state(self):
+        from repro.core.agent import Agent, AgentConfig
+        from repro.core.e2ap.ies import GlobalE2NodeId, NodeKind
+        from repro.core.server import Server, ServerConfig
+        from repro.sm.hw import HwRanFunction
+
+        transport = InProcTransport()
+        server = Server(ServerConfig(e2ap_codec="fb"))
+        server.listen(transport, "ric")
+        agent = Agent(
+            AgentConfig(node_id=GlobalE2NodeId("00101", 1, NodeKind.GNB)), transport
+        )
+        agent.register_function(HwRanFunction())
+        origin = agent.connect("ric")
+        agent.disconnect(origin)
+        agent.connect("ric")  # same node identity reconnects cleanly
+        assert len(server.agents()) == 1
+
+    def test_reset_clears_agent_subscriptions(self):
+        from repro.core.agent import Agent, AgentConfig
+        from repro.core.e2ap.ies import (
+            GlobalE2NodeId,
+            NodeKind,
+            RicActionDefinition,
+            RicActionKind,
+        )
+        from repro.core.e2ap.messages import ResetRequest
+        from repro.core.e2ap.procedures import Cause, CauseKind
+        from repro.core.server import Server, ServerConfig, SubscriptionCallbacks
+        from repro.sm.base import PeriodicTrigger
+        from repro.sm.mac_stats import MacStatsFunction, synthetic_provider, INFO as MAC
+
+        transport = InProcTransport()
+        server = Server(ServerConfig(e2ap_codec="fb"))
+        server.listen(transport, "ric")
+        agent = Agent(
+            AgentConfig(node_id=GlobalE2NodeId("00101", 1, NodeKind.GNB)), transport
+        )
+        function = MacStatsFunction(provider=synthetic_provider(2), sm_codec="fb")
+        agent.register_function(function)
+        agent.connect("ric")
+        conn = server.agents()[0].conn_id
+        server.subscribe(
+            conn_id=conn,
+            ran_function_id=MAC.default_function_id,
+            event_trigger=PeriodicTrigger(1.0).to_bytes("fb"),
+            actions=[RicActionDefinition(1, RicActionKind.REPORT)],
+            callbacks=SubscriptionCallbacks(),
+        )
+        assert len(function.subscriptions) == 1
+        server.send_to_agent(
+            conn, ResetRequest(cause=Cause(CauseKind.MISC, Cause.UNSPECIFIED))
+        )
+        assert len(function.subscriptions) == 0
+
+
+class TestConnectionUpdateProcedure:
+    def test_agent_attaches_to_second_controller_on_command(self):
+        """E2 connection update end to end (the Fig. 4 bootstrap)."""
+        from repro.core.agent import Agent, AgentConfig
+        from repro.core.e2ap.ies import GlobalE2NodeId, NodeKind, TnlInformation
+        from repro.core.e2ap.messages import E2ConnectionUpdate
+        from repro.core.server import Server, ServerConfig
+        from repro.sm.hw import HwRanFunction
+
+        transport = InProcTransport()
+        primary = Server(ServerConfig(e2ap_codec="fb"))
+        primary.listen(transport, "ric-primary")
+        secondary = Server(ServerConfig(e2ap_codec="fb"))
+        secondary.listen(transport, "ric-secondary")
+        agent = Agent(
+            AgentConfig(node_id=GlobalE2NodeId("00101", 1, NodeKind.DU)), transport
+        )
+        agent.register_function(HwRanFunction())
+        agent.connect("ric-primary")
+        assert secondary.agents() == []
+        primary.send_to_agent(
+            primary.agents()[0].conn_id,
+            E2ConnectionUpdate(add=[TnlInformation("ric-secondary", 0)]),
+        )
+        assert len(secondary.agents()) == 1
+        assert len(agent.controllers) == 2

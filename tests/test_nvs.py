@@ -1,0 +1,176 @@
+"""Unit and property tests for the NVS slice scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ran.nvs import NvsScheduler, NvsSliceConfig, SliceKind
+
+
+def capacity(slice_id, cap, **kwargs):
+    return NvsSliceConfig(slice_id=slice_id, kind=SliceKind.CAPACITY, cap=cap, **kwargs)
+
+
+def rate(slice_id, rsv, ref, **kwargs):
+    return NvsSliceConfig(
+        slice_id=slice_id, kind=SliceKind.RATE, rate_mbps=rsv, ref_mbps=ref, **kwargs
+    )
+
+
+class TestAdmission:
+    def test_total_share_respected(self):
+        scheduler = NvsScheduler()
+        scheduler.add_slice(capacity(1, 0.6))
+        with pytest.raises(ValueError):
+            scheduler.add_slice(capacity(2, 0.5))
+        scheduler.add_slice(capacity(2, 0.4))
+
+    def test_rate_slice_share(self):
+        config = rate(1, 5.0, 50.0)
+        assert config.share == pytest.approx(0.1)
+
+    def test_mixed_admission(self):
+        scheduler = NvsScheduler()
+        scheduler.add_slice(capacity(1, 0.5))
+        scheduler.add_slice(rate(2, 25.0, 50.0))  # 0.5
+        with pytest.raises(ValueError):
+            scheduler.add_slice(capacity(3, 0.01))
+
+    def test_reconfigure_same_id_excludes_old_share(self):
+        scheduler = NvsScheduler()
+        scheduler.add_slice(capacity(1, 0.9))
+        scheduler.add_slice(capacity(1, 0.5))  # shrink is fine
+        scheduler.add_slice(capacity(2, 0.5))
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            capacity(1, 0.0).validate()
+        with pytest.raises(ValueError):
+            capacity(1, 1.5).validate()
+        with pytest.raises(ValueError):
+            rate(1, 0.0, 10.0).validate()
+        with pytest.raises(ValueError):
+            rate(1, 20.0, 10.0).validate()
+
+    def test_remove_unknown(self):
+        with pytest.raises(KeyError):
+            NvsScheduler().remove_slice(3)
+
+    def test_contains_and_len(self):
+        scheduler = NvsScheduler()
+        scheduler.add_slice(capacity(1, 0.3))
+        assert 1 in scheduler and 2 not in scheduler
+        assert len(scheduler) == 1
+
+
+class TestSelection:
+    def _converged_shares(self, configs, slots=20000, backlogged=None):
+        scheduler = NvsScheduler(beta=0.01)
+        for config in configs:
+            scheduler.add_slice(config)
+        counts = {config.slice_id: 0 for config in configs}
+        eligible = backlogged or [config.slice_id for config in configs]
+        for _ in range(slots):
+            pick = scheduler.pick(eligible)
+            if pick is not None:
+                counts[pick] += 1
+            scheduler.account(pick, served_mbps=10.0)
+        return {slice_id: count / slots for slice_id, count in counts.items()}
+
+    def test_two_capacity_slices_converge(self):
+        shares = self._converged_shares([capacity(1, 0.66), capacity(2, 0.34)])
+        assert shares[1] == pytest.approx(0.66, abs=0.02)
+        assert shares[2] == pytest.approx(0.34, abs=0.02)
+
+    def test_equal_slices(self):
+        shares = self._converged_shares([capacity(1, 0.5), capacity(2, 0.5)])
+        assert shares[1] == pytest.approx(0.5, abs=0.02)
+
+    def test_idle_slice_slot_goes_to_active(self):
+        shares = self._converged_shares(
+            [capacity(1, 0.5), capacity(2, 0.5)], backlogged=[1]
+        )
+        assert shares[1] == pytest.approx(1.0)
+        assert shares[2] == 0.0
+
+    def test_no_backlog_returns_none(self):
+        scheduler = NvsScheduler()
+        scheduler.add_slice(capacity(1, 1.0))
+        assert scheduler.pick([]) is None
+
+    def test_rate_slice_gets_reserved_rate(self):
+        """A 10 Mbps-over-100 rate slice sharing with a 0.9 capacity
+        slice must win about 10 % of slots (each slot worth 10 Mbps
+        instantaneous)."""
+        shares = self._converged_shares(
+            [rate(1, 1.0, 10.0), capacity(2, 0.9)], slots=30000
+        )
+        assert shares[1] == pytest.approx(0.1, abs=0.03)
+
+    def test_snapshot_contents(self):
+        scheduler = NvsScheduler()
+        scheduler.add_slice(capacity(1, 0.4, label="gold"))
+        for _ in range(10):
+            scheduler.account(scheduler.pick([1]), 5.0)
+        (entry,) = scheduler.snapshot()
+        assert entry["slice_id"] == 1
+        assert entry["label"] == "gold"
+        assert entry["slots_served"] == 10
+        assert 0.0 < entry["exp_share"] <= 1.0
+
+    def test_recovery_after_idle(self):
+        """A slice that was idle regains its share once active again."""
+        scheduler = NvsScheduler(beta=0.01)
+        scheduler.add_slice(capacity(1, 0.5))
+        scheduler.add_slice(capacity(2, 0.5))
+        for _ in range(2000):  # slice 2 idle
+            pick = scheduler.pick([1])
+            scheduler.account(pick, 10.0)
+        counts = {1: 0, 2: 0}
+        for _ in range(5000):
+            pick = scheduler.pick([1, 2])
+            counts[pick] += 1
+            scheduler.account(pick, 10.0)
+        assert counts[2] / 5000 == pytest.approx(0.5, abs=0.05)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            NvsScheduler(beta=0.0)
+
+
+@given(
+    shares=st.lists(
+        st.floats(min_value=0.05, max_value=0.5), min_size=2, max_size=4
+    ).filter(lambda s: sum(s) <= 1.0)
+)
+@settings(max_examples=25, deadline=None)
+def test_property_fair_shares(shares):
+    """Each always-backlogged capacity slice receives at least ~90 % of
+    its configured share of slots — NVS's guarantee."""
+    scheduler = NvsScheduler(beta=0.02)
+    for index, share in enumerate(shares):
+        scheduler.add_slice(capacity(index, share))
+    counts = {index: 0 for index in range(len(shares))}
+    slots = 8000
+    eligible = list(counts)
+    for _ in range(slots):
+        pick = scheduler.pick(eligible)
+        counts[pick] += 1
+        scheduler.account(pick, 10.0)
+    for index, share in enumerate(shares):
+        assert counts[index] / slots >= 0.9 * share - 0.02
+
+
+@given(
+    shares=st.lists(st.floats(min_value=0.05, max_value=0.9), min_size=1, max_size=6)
+)
+@settings(max_examples=50, deadline=None)
+def test_property_admission_invariant(shares):
+    """After any sequence of adds, the admitted total never exceeds 1."""
+    scheduler = NvsScheduler()
+    for index, share in enumerate(shares):
+        try:
+            scheduler.add_slice(capacity(index, share))
+        except ValueError:
+            pass
+    assert scheduler.total_share() <= 1.0 + 1e-9

@@ -1,0 +1,111 @@
+"""Unit tests for the PHY abstraction."""
+
+import pytest
+
+from repro.ran.phy import (
+    ChannelModel,
+    LTE_CELL_5MHZ,
+    NR_CELL_20MHZ,
+    PhyConfig,
+    cqi_to_mcs,
+    mcs_parameters,
+    transport_block_bits,
+    transport_block_bytes,
+)
+
+
+class TestTbs:
+    def test_monotonic_in_mcs(self):
+        sizes = [transport_block_bits(mcs, 106) for mcs in range(29)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_monotonic_in_prbs(self):
+        assert transport_block_bits(20, 50) < transport_block_bits(20, 106)
+
+    def test_zero_prbs(self):
+        assert transport_block_bits(20, 0) == 0
+
+    def test_negative_prbs_rejected(self):
+        with pytest.raises(ValueError):
+            transport_block_bits(20, -1)
+
+    def test_mcs_out_of_range(self):
+        with pytest.raises(ValueError):
+            transport_block_bits(29, 10)
+        with pytest.raises(ValueError):
+            mcs_parameters(-1)
+
+    def test_nr_cell_rate_near_paper(self):
+        """106 PRB @ MCS 20 must land near the ~60 Mbit/s cell rate of
+        the paper's Fig. 13 setup."""
+        bits_per_tti = transport_block_bits(20, 106)
+        mbps = bits_per_tti / 0.001 / 1e6
+        assert 45.0 <= mbps <= 70.0
+
+    def test_bytes_is_bits_over_8(self):
+        assert transport_block_bytes(10, 25) == transport_block_bits(10, 25) // 8
+
+
+class TestCqiMapping:
+    def test_bounds(self):
+        assert cqi_to_mcs(1) == 0
+        assert cqi_to_mcs(15) == 28
+
+    def test_monotonic(self):
+        values = [cqi_to_mcs(cqi) for cqi in range(1, 16)]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("cqi", [0, 16])
+    def test_out_of_range(self, cqi):
+        with pytest.raises(ValueError):
+            cqi_to_mcs(cqi)
+
+
+class TestPhyConfig:
+    def test_presets(self):
+        assert LTE_CELL_5MHZ.n_prbs == 25
+        assert LTE_CELL_5MHZ.cores == 8
+        assert NR_CELL_20MHZ.n_prbs == 106
+        assert NR_CELL_20MHZ.cores == 16
+
+    def test_cpu_cost_per_tti(self):
+        cost = NR_CELL_20MHZ.phy_cpu_cost_per_tti()
+        # 8.66 % of 16 cores over 1 ms.
+        assert cost == pytest.approx(0.0866 * 16 * 0.001)
+
+    def test_invalid_rat(self):
+        with pytest.raises(ValueError):
+            PhyConfig(rat="6g")
+
+    def test_invalid_prbs(self):
+        with pytest.raises(ValueError):
+            PhyConfig(n_prbs=0)
+
+    def test_bandwidth_estimate(self):
+        assert LTE_CELL_5MHZ.bandwidth_mhz == pytest.approx(4.5)
+
+
+class TestChannelModel:
+    def test_fixed_cqi(self):
+        model = ChannelModel(base_cqi=10)
+        assert all(model.cqi_at(1, t * 0.1) == 10 for t in range(50))
+
+    def test_variation_stays_in_range(self):
+        model = ChannelModel(base_cqi=8, variation=3)
+        values = {model.cqi_at(1, t * 0.1) for t in range(500)}
+        assert min(values) >= 5 and max(values) <= 11
+        assert len(values) > 1
+
+    def test_deterministic_given_seed(self):
+        a = ChannelModel(base_cqi=8, variation=3, seed=42)
+        b = ChannelModel(base_cqi=8, variation=3, seed=42)
+        assert [a.cqi_at(1, t) for t in range(100)] == [
+            b.cqi_at(1, t) for t in range(100)
+        ]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ChannelModel(base_cqi=0)
+        with pytest.raises(ValueError):
+            ChannelModel(base_cqi=14, variation=3)

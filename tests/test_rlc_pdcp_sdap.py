@@ -1,0 +1,171 @@
+"""Unit tests for RLC, PDCP and SDAP entities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ran.pdcp import PdcpEntity
+from repro.ran.rlc import RlcConfig, RlcEntity
+from repro.ran.sdap import SdapEntity
+from repro.traffic.flows import FiveTuple, Packet
+
+FLOW = FiveTuple("1.1.1.1", "2.2.2.2", 10, 20, "udp")
+
+
+def packet(size=100, at=0.0, flow=FLOW):
+    return Packet(flow=flow, size=size, created_at=at)
+
+
+class TestRlc:
+    def test_enqueue_updates_backlog(self):
+        rlc = RlcEntity(1, 1)
+        assert rlc.enqueue(packet(500), 0.0)
+        assert rlc.backlog_bytes == 500
+        assert rlc.backlog_pkts == 1
+        assert rlc.rx_pdus == 1 and rlc.rx_bytes == 500
+
+    def test_tail_drop_at_capacity(self):
+        rlc = RlcEntity(1, 1, RlcConfig(capacity_bytes=1000))
+        assert rlc.enqueue(packet(600), 0.0)
+        assert not rlc.enqueue(packet(600), 0.0)
+        assert rlc.dropped == 1
+        assert rlc.backlog_bytes == 600
+
+    def test_pull_full_packet(self):
+        rlc = RlcEntity(1, 1)
+        rlc.enqueue(packet(100), 0.0)
+        taken, delivered = rlc.pull(200, 1.0)
+        assert taken == 100 + rlc.config.pdu_header_bytes
+        assert len(delivered) == 1
+        assert delivered[0].delivered_at == 1.0
+        assert rlc.backlog_bytes == 0
+
+    def test_pull_segments_head_packet(self):
+        rlc = RlcEntity(1, 1)
+        rlc.enqueue(packet(1000), 0.0)
+        taken1, delivered1 = rlc.pull(300, 0.001)
+        assert taken1 == 300 and delivered1 == []
+        assert rlc.backlog_pkts == 1  # still queued (partially sent)
+        taken2, delivered2 = rlc.pull(10_000, 0.002)
+        assert len(delivered2) == 1
+        assert taken1 + taken2 == 1000 + rlc.config.pdu_header_bytes
+
+    def test_pull_multiple_packets(self):
+        rlc = RlcEntity(1, 1)
+        for _ in range(5):
+            rlc.enqueue(packet(100), 0.0)
+        _taken, delivered = rlc.pull(10_000, 1.0)
+        assert len(delivered) == 5
+        assert rlc.tx_pdus == 5
+
+    def test_pull_zero_budget(self):
+        rlc = RlcEntity(1, 1)
+        rlc.enqueue(packet(), 0.0)
+        assert rlc.pull(0, 1.0) == (0, [])
+
+    def test_sojourn_tracking(self):
+        rlc = RlcEntity(1, 1)
+        rlc.enqueue(packet(100), 1.0)
+        assert rlc.head_sojourn_s(3.0) == pytest.approx(2.0)
+        rlc.pull(10_000, 4.0)
+        assert rlc.last_sojourn_s == pytest.approx(3.0)
+        assert rlc.head_sojourn_s(5.0) == 0.0
+
+    def test_delivery_callback(self):
+        rlc = RlcEntity(1, 1)
+        seen = []
+        rlc.on_delivered = seen.append
+        rlc.enqueue(packet(50), 0.0)
+        rlc.pull(10_000, 1.0)
+        assert len(seen) == 1
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=2000), min_size=1, max_size=40),
+        budgets=st.lists(st.integers(min_value=1, max_value=3000), min_size=1, max_size=80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_byte_conservation(self, sizes, budgets):
+        """Every enqueued byte is eventually pulled exactly once (plus
+        one header per delivered packet); nothing is lost or invented."""
+        rlc = RlcEntity(1, 1, RlcConfig(capacity_bytes=10**9))
+        for size in sizes:
+            rlc.enqueue(packet(size), 0.0)
+        total_taken = 0
+        delivered = []
+        for budget in budgets:
+            taken, out = rlc.pull(budget, 1.0)
+            total_taken += taken
+            delivered.extend(out)
+        taken_rest, out = rlc.pull(10**9, 2.0)
+        total_taken += taken_rest
+        delivered.extend(out)
+        header = rlc.config.pdu_header_bytes
+        assert len(delivered) == len(sizes)
+        assert total_taken == sum(sizes) + header * len(sizes)
+        assert rlc.backlog_bytes == 0
+
+
+class TestPdcp:
+    def test_counters_and_forwarding(self):
+        forwarded = []
+        pdcp = PdcpEntity(1, 1, downstream=lambda p, now: (forwarded.append(p), True)[1])
+        assert pdcp.submit(packet(200), 0.0)
+        assert pdcp.tx_pkts == 1 and pdcp.tx_bytes == 200
+        assert pdcp.sn == 1
+        assert len(forwarded) == 1
+
+    def test_downstream_rejection_propagates(self):
+        pdcp = PdcpEntity(1, 1, downstream=lambda p, now: False)
+        assert not pdcp.submit(packet(), 0.0)
+        # PDCP still counted the SDU (it processed it).
+        assert pdcp.tx_pkts == 1
+
+    def test_uplink_accounting(self):
+        pdcp = PdcpEntity(1, 1, downstream=lambda p, now: True)
+        pdcp.uplink_delivered(500)
+        assert pdcp.rx_pkts == 1 and pdcp.rx_bytes == 500
+
+
+class TestSdap:
+    def test_default_bearer_routing(self):
+        sdap = SdapEntity(rnti=1, default_bearer=1)
+        got = []
+        sdap.attach_bearer(1, lambda p, now: (got.append(p), True)[1])
+        assert sdap.deliver(packet(), 0.0)
+        assert len(got) == 1
+        assert sdap.pkts_in == 1
+
+    def test_flow_mapping(self):
+        sdap = SdapEntity(rnti=1)
+        got = {1: [], 2: []}
+        sdap.attach_bearer(1, lambda p, now: (got[1].append(p), True)[1])
+        sdap.attach_bearer(2, lambda p, now: (got[2].append(p), True)[1])
+        special = FiveTuple("9.9.9.9", "2.2.2.2", 1, 2, "tcp")
+        sdap.map_flow(special, 2)
+        sdap.deliver(packet(flow=special), 0.0)
+        sdap.deliver(packet(), 0.0)
+        assert len(got[2]) == 1 and len(got[1]) == 1
+
+    def test_map_to_unknown_bearer_rejected(self):
+        sdap = SdapEntity(rnti=1)
+        sdap.attach_bearer(1, lambda p, now: True)
+        with pytest.raises(KeyError):
+            sdap.map_flow(FLOW, 9)
+
+    def test_replace_ingress_returns_previous(self):
+        sdap = SdapEntity(rnti=1)
+        first = lambda p, now: True
+        second = lambda p, now: False
+        sdap.attach_bearer(1, first)
+        assert sdap.replace_ingress(1, second) is first
+        assert not sdap.deliver(packet(), 0.0)
+
+    def test_deliver_without_bearer_raises(self):
+        with pytest.raises(KeyError):
+            SdapEntity(rnti=1).deliver(packet(), 0.0)
+
+    def test_bearers_listing(self):
+        sdap = SdapEntity(rnti=1)
+        sdap.attach_bearer(2, lambda p, now: True)
+        sdap.attach_bearer(1, lambda p, now: True)
+        assert sdap.bearers == [1, 2]

@@ -1,0 +1,115 @@
+"""Tests for the multi-threaded indication dispatch extension (§4.4)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.agent import Agent, AgentConfig
+from repro.core.e2ap.ies import (
+    GlobalE2NodeId,
+    NodeKind,
+    RicActionDefinition,
+    RicActionKind,
+)
+from repro.core.server import Server, ServerConfig, SubscriptionCallbacks
+from repro.core.transport import InProcTransport
+from repro.sm.base import PeriodicTrigger
+from repro.sm.mac_stats import MacStatsFunction, synthetic_provider, INFO as MAC
+
+
+def wire(workers: int):
+    transport = InProcTransport()
+    server = Server(ServerConfig(e2ap_codec="fb", indication_workers=workers))
+    server.listen(transport, "ric")
+    agent = Agent(
+        AgentConfig(node_id=GlobalE2NodeId("00101", 1, NodeKind.GNB)), transport
+    )
+    function = MacStatsFunction(provider=synthetic_provider(4), sm_codec="fb")
+    agent.register_function(function)
+    agent.connect("ric")
+    return server, function
+
+
+def subscribe(server, on_indication):
+    return server.subscribe(
+        conn_id=server.agents()[0].conn_id,
+        ran_function_id=MAC.default_function_id,
+        event_trigger=PeriodicTrigger(1.0).to_bytes("fb"),
+        actions=[RicActionDefinition(1, RicActionKind.REPORT)],
+        callbacks=SubscriptionCallbacks(on_indication=on_indication),
+    )
+
+
+class TestWorkerDispatch:
+    def test_default_is_inline(self):
+        server, function = wire(workers=0)
+        thread_names = []
+        subscribe(server, lambda event: thread_names.append(threading.current_thread().name))
+        function.pump()
+        assert thread_names == [threading.main_thread().name]
+        server.close()
+
+    def test_workers_handle_indications_off_thread(self):
+        server, function = wire(workers=2)
+        thread_names = []
+        done = threading.Event()
+
+        def on_indication(event):
+            thread_names.append(threading.current_thread().name)
+            if len(thread_names) == 5:
+                done.set()
+
+        subscribe(server, on_indication)
+        for _ in range(5):
+            function.pump()
+        assert done.wait(5.0)
+        assert all(name.startswith("ind-worker") for name in thread_names)
+        server.close()
+
+    def test_all_indications_delivered(self):
+        server, function = wire(workers=4)
+        seen = []
+        lock = threading.Lock()
+
+        def on_indication(event):
+            with lock:
+                seen.append(event.sequence)
+
+        subscribe(server, on_indication)
+        for _ in range(50):
+            function.pump()
+        deadline = time.time() + 5.0
+        while len(seen) < 50 and time.time() < deadline:
+            time.sleep(0.01)
+        assert sorted(seen) == list(range(50))
+        server.close()
+
+    def test_slow_path_still_inline(self):
+        """Setup/subscription handling stays on the transport thread —
+        only the stateless indication path is pooled."""
+        server, function = wire(workers=2)
+        confirm_thread = []
+        record = server.subscribe(
+            conn_id=server.agents()[0].conn_id,
+            ran_function_id=MAC.default_function_id,
+            event_trigger=PeriodicTrigger(1.0).to_bytes("fb"),
+            actions=[RicActionDefinition(1, RicActionKind.REPORT)],
+            callbacks=SubscriptionCallbacks(
+                on_success=lambda response: confirm_thread.append(
+                    threading.current_thread().name
+                )
+            ),
+        )
+        assert record.confirmed
+        assert confirm_thread == [threading.main_thread().name]
+        server.close()
+
+    def test_close_drains_pool(self):
+        server, function = wire(workers=2)
+        seen = []
+        subscribe(server, lambda event: seen.append(event.sequence))
+        for _ in range(10):
+            function.pump()
+        server.close()  # shuts the pool down after queued work completes
+        assert len(seen) == 10

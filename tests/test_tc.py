@@ -1,0 +1,297 @@
+"""Unit tests for the traffic-control dataplane."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sm.traffic_ctrl import FiveTupleMatch
+from repro.tc.classifier import Classifier
+from repro.tc.pacer import BdpPacer, NonePacer, make_pacer
+from repro.tc.pipeline import TcPipeline
+from repro.tc.queues import FifoQueue
+from repro.tc.scheduler import FifoSched, RoundRobinSched, make_scheduler
+from repro.traffic.flows import FiveTuple, Packet
+
+VOIP = FiveTuple("10.0.0.1", "10.0.1.1", 2112, 2112, "udp")
+GREEDY = FiveTuple("10.0.0.2", "10.0.1.1", 5201, 5201, "tcp")
+
+
+def packet(flow=GREEDY, size=100, at=0.0):
+    return Packet(flow=flow, size=size, created_at=at)
+
+
+class TestClassifier:
+    def test_default_queue_fallback(self):
+        assert Classifier(default_queue=0).classify(packet()) == 0
+
+    def test_exact_match(self):
+        classifier = Classifier()
+        classifier.add_rule(
+            FiveTupleMatch("10.0.0.1", "10.0.1.1", 2112, 2112, "udp"), queue_id=2
+        )
+        assert classifier.classify(packet(VOIP)) == 2
+        assert classifier.classify(packet(GREEDY)) == 0
+
+    def test_wildcard_fields(self):
+        classifier = Classifier()
+        classifier.add_rule(FiveTupleMatch(protocol="udp"), queue_id=3)
+        assert classifier.classify(packet(VOIP)) == 3
+        assert classifier.classify(packet(GREEDY)) == 0
+
+    def test_priority_order(self):
+        classifier = Classifier()
+        classifier.add_rule(FiveTupleMatch(protocol="udp"), queue_id=1, prio=50)
+        classifier.add_rule(FiveTupleMatch(src_port=2112), queue_id=2, prio=10)
+        assert classifier.classify(packet(VOIP)) == 2
+
+    def test_remove_rule(self):
+        classifier = Classifier()
+        rule = classifier.add_rule(FiveTupleMatch(protocol="udp"), queue_id=1)
+        assert classifier.remove_rule(rule.filter_id)
+        assert not classifier.remove_rule(rule.filter_id)
+        assert classifier.classify(packet(VOIP)) == 0
+
+    def test_drop_queue_rules(self):
+        classifier = Classifier()
+        classifier.add_rule(FiveTupleMatch(protocol="udp"), queue_id=1)
+        classifier.add_rule(FiveTupleMatch(protocol="tcp"), queue_id=1)
+        classifier.add_rule(FiveTupleMatch(src_port=9), queue_id=2)
+        assert classifier.drop_queue_rules(1) == 2
+        assert len(classifier.rules) == 1
+
+
+class TestFifoQueue:
+    def test_push_pop_order(self):
+        queue = FifoQueue(0)
+        for index in range(3):
+            queue.push(packet(size=10 + index), float(index))
+        sizes = [queue.pop(5.0).size for _ in range(3)]
+        assert sizes == [10, 11, 12]
+        assert queue.pop(5.0) is None
+
+    def test_capacity_tail_drop(self):
+        queue = FifoQueue(0, capacity_bytes=150)
+        assert queue.push(packet(size=100), 0.0)
+        assert not queue.push(packet(size=100), 0.0)
+        assert queue.dropped == 1
+
+    def test_sojourn_accounting(self):
+        queue = FifoQueue(0)
+        queue.push(packet(), 1.0)
+        assert queue.head_sojourn_s(3.0) == pytest.approx(2.0)
+        queue.pop(4.0)
+        assert queue.last_sojourn_s == pytest.approx(3.0)
+
+    def test_peek_size(self):
+        queue = FifoQueue(0)
+        assert queue.peek_size() is None
+        queue.push(packet(size=77), 0.0)
+        assert queue.peek_size() == 77
+
+    def test_bool_and_counts(self):
+        queue = FifoQueue(0)
+        assert not queue
+        queue.push(packet(size=5), 0.0)
+        assert queue and queue.backlog_pkts == 1 and queue.backlog_bytes == 5
+
+    @given(sizes=st.lists(st.integers(1, 1000), max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_property_conservation(self, sizes):
+        queue = FifoQueue(0, capacity_bytes=10**9)
+        for size in sizes:
+            queue.push(packet(size=size), 0.0)
+        out = []
+        while queue:
+            out.append(queue.pop(1.0).size)
+        assert out == sizes
+        assert queue.backlog_bytes == 0
+
+
+class TestSchedulers:
+    def _queues(self):
+        queues = {0: FifoQueue(0), 2: FifoQueue(2)}
+        return queues
+
+    def test_fifo_lowest_id_first(self):
+        queues = self._queues()
+        queues[2].push(packet(), 0.0)
+        queues[0].push(packet(), 0.0)
+        assert FifoSched().pick(queues).queue_id == 0
+
+    def test_fifo_skips_empty(self):
+        queues = self._queues()
+        queues[2].push(packet(), 0.0)
+        assert FifoSched().pick(queues).queue_id == 2
+
+    def test_rr_alternates(self):
+        queues = self._queues()
+        scheduler = RoundRobinSched()
+        for _ in range(4):
+            queues[0].push(packet(), 0.0)
+            queues[2].push(packet(), 0.0)
+        order = []
+        for _ in range(8):
+            queue = scheduler.pick(queues)
+            order.append(queue.queue_id)
+            queue.pop(0.0)
+        assert order == [0, 2, 0, 2, 0, 2, 0, 2]
+
+    def test_rr_single_active(self):
+        queues = self._queues()
+        scheduler = RoundRobinSched()
+        queues[2].push(packet(), 0.0)
+        queues[2].push(packet(), 0.0)
+        assert scheduler.pick(queues).queue_id == 2
+        queues[2].pop(0.0)
+        assert scheduler.pick(queues).queue_id == 2
+
+    def test_pick_none_when_all_empty(self):
+        assert RoundRobinSched().pick(self._queues()) is None
+
+    def test_factory(self):
+        assert isinstance(make_scheduler("rr"), RoundRobinSched)
+        assert isinstance(make_scheduler("fifo"), FifoSched)
+        with pytest.raises(ValueError):
+            make_scheduler("wfq")
+
+
+class TestPacer:
+    def test_none_pacer_unbounded(self):
+        assert NonePacer().budget_bytes(0.0, 10**9, 0.0) > 10**8
+
+    def test_bdp_targets_one_bdp(self):
+        pacer = BdpPacer(target_ms=10.0, min_bytes=0)
+        # 80 Mbit/s * 10 ms = 100 kB target
+        assert pacer.budget_bytes(0.0, 0, 80e6) == 100_000
+        assert pacer.budget_bytes(0.0, 60_000, 80e6) == 40_000
+        assert pacer.budget_bytes(0.0, 200_000, 80e6) == 0
+
+    def test_bdp_floor_prevents_starvation(self):
+        pacer = BdpPacer(target_ms=10.0, min_bytes=3000)
+        assert pacer.budget_bytes(0.0, 0, 0.0) == 3000
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            BdpPacer(target_ms=0.0)
+
+    def test_factory(self):
+        assert isinstance(make_pacer("none", {}), NonePacer)
+        pacer = make_pacer("bdp", {"target_ms": 5.0, "min_bytes": 100})
+        assert pacer.target_ms == 5.0 and pacer.min_bytes == 100
+        with pytest.raises(ValueError):
+            make_pacer("token", {})
+
+
+class TestPipeline:
+    def _pipeline(self, rlc_backlog=0, rate_bps=58e6):
+        delivered = []
+        state = {"backlog": rlc_backlog}
+        pipeline = TcPipeline(
+            downstream=lambda p, now: (delivered.append(p), True)[1],
+            rlc_backlog=lambda: state["backlog"],
+            rate_estimate_bps=lambda: rate_bps,
+        )
+        return pipeline, delivered, state
+
+    def test_transparent_passthrough(self):
+        pipeline, delivered, _ = self._pipeline()
+        assert pipeline.transparent
+        assert pipeline.ingress(packet(at=1.0), 1.0)
+        assert len(delivered) == 1
+        assert delivered[0].tc_sojourn_s == 0.0
+
+    def test_configured_pipeline_not_transparent(self):
+        pipeline, _, _ = self._pipeline()
+        pipeline.add_queue(2)
+        assert not pipeline.transparent
+
+    def test_add_duplicate_queue_rejected(self):
+        pipeline, _, _ = self._pipeline()
+        pipeline.add_queue(2)
+        with pytest.raises(ValueError):
+            pipeline.add_queue(2)
+
+    def test_cannot_delete_default_queue(self):
+        pipeline, _, _ = self._pipeline()
+        with pytest.raises(ValueError):
+            pipeline.del_queue(0)
+
+    def test_del_queue_spills_to_default(self):
+        pipeline, delivered, state = self._pipeline()
+        pipeline.add_queue(2)
+        pipeline.add_filter(FiveTupleMatch(protocol="udp"), 2, prio=1)
+        pipeline.set_pacer("bdp", {"target_ms": 1.0, "min_bytes": 0})
+        state["backlog"] = 10**9  # block draining
+        pipeline.ingress(packet(VOIP), 0.0)
+        assert pipeline.queues[2].backlog_pkts == 1
+        pipeline.del_queue(2)
+        assert pipeline.queues[0].backlog_pkts == 1
+
+    def test_filter_routing(self):
+        pipeline, _, state = self._pipeline()
+        pipeline.add_queue(2)
+        pipeline.add_filter(FiveTupleMatch(src_port=2112), 2, prio=1)
+        pipeline.set_pacer("bdp", {"target_ms": 1.0, "min_bytes": 0})
+        state["backlog"] = 10**9
+        pipeline.ingress(packet(VOIP), 0.0)
+        pipeline.ingress(packet(GREEDY), 0.0)
+        assert pipeline.queues[2].backlog_pkts == 1
+        assert pipeline.queues[0].backlog_pkts == 1
+
+    def test_del_unknown_filter(self):
+        pipeline, _, _ = self._pipeline()
+        with pytest.raises(ValueError):
+            pipeline.del_filter(99)
+
+    def test_pacer_holds_packets_until_budget(self):
+        pipeline, delivered, state = self._pipeline()
+        pipeline.add_queue(2)
+        pipeline.set_pacer("bdp", {"target_ms": 1.0, "min_bytes": 0})
+        state["backlog"] = 10**9  # RLC full: zero budget
+        pipeline.ingress(packet(size=1000), 0.0)
+        assert delivered == []
+        state["backlog"] = 0  # RLC drained: release
+        pipeline.drain(0.002)
+        assert len(delivered) == 1
+        assert delivered[0].tc_sojourn_s == pytest.approx(0.002)
+
+    def test_drain_respects_budget_bytes(self):
+        pipeline, delivered, state = self._pipeline(rate_bps=8e6)
+        pipeline.add_queue(2)
+        pipeline.set_pacer("bdp", {"target_ms": 1.0, "min_bytes": 0})
+        state["backlog"] = 10**9
+        for _ in range(10):
+            pipeline.ingress(packet(size=400), 0.0)
+        state["backlog"] = 0
+        # budget = 8e6/8 * 1ms = 1000 B -> exactly two 400 B packets
+        released = pipeline.drain(0.001)
+        assert released == 800
+        assert len(delivered) == 2
+
+    def test_rr_interleaves_queues_on_drain(self):
+        pipeline, delivered, state = self._pipeline()
+        pipeline.add_queue(2)
+        pipeline.add_filter(FiveTupleMatch(src_port=2112), 2, prio=1)
+        pipeline.set_scheduler("rr")
+        pipeline.set_pacer("bdp", {"target_ms": 1.0, "min_bytes": 0})
+        state["backlog"] = 10**9
+        for _ in range(3):
+            pipeline.ingress(packet(GREEDY, size=100), 0.0)
+            pipeline.ingress(packet(VOIP, size=100), 0.0)
+        state["backlog"] = 0
+        pipeline.drain(0.001)
+        flows = [p.flow.src_port for p in delivered]
+        assert flows[:4] in ([2112, 5201, 2112, 5201], [5201, 2112, 5201, 2112])
+
+    def test_queue_snapshot(self):
+        pipeline, _, state = self._pipeline()
+        pipeline.add_queue(2)
+        pipeline.set_pacer("bdp", {"target_ms": 2.0})
+        pipeline.set_scheduler("rr")
+        state["backlog"] = 10**9
+        pipeline.ingress(packet(size=500), 0.0)
+        snapshot = pipeline.queue_snapshot()
+        assert snapshot["pacer"] == "bdp"
+        assert snapshot["scheduler"] == "rr"
+        assert [q["queue_id"] for q in snapshot["queues"]] == [0, 2]
+        assert snapshot["queues"][0]["backlog_bytes"] == 500

@@ -1,0 +1,239 @@
+"""Unit tests for traffic generators: VoIP, Cubic, full-buffer."""
+
+import pytest
+
+from repro.core.simclock import SimClock
+from repro.traffic import (
+    CubicFlow,
+    CubicState,
+    DeliveryHub,
+    FiveTuple,
+    FullBufferFlow,
+    OnOffFlow,
+    Packet,
+    VoipFlow,
+)
+
+
+class TestVoip:
+    def test_cbr_pattern(self):
+        clock = SimClock()
+        sent = []
+        flow = VoipFlow(clock, sink=lambda p: (sent.append(p), True)[1])
+        flow.start()
+        clock.run_until(1.0)
+        # One frame per 20 ms, starting at t=0 (float accumulation may
+        # push the final occurrence just past the deadline).
+        assert len(sent) in (50, 51)
+        assert all(p.size == 172 for p in sent)
+
+    def test_bandwidth_is_64kbps_class(self):
+        clock = SimClock()
+        total = []
+        flow = VoipFlow(clock, sink=lambda p: (total.append(p.size), True)[1])
+        flow.start()
+        clock.run_until(10.0)
+        kbps = sum(total) * 8 / 10.0 / 1000.0
+        assert kbps == pytest.approx(69.0, abs=5.0)  # 172 B / 20 ms ~ 68.8 kbps
+
+    def test_rtt_includes_downlink_delay(self):
+        clock = SimClock()
+        flow = VoipFlow(clock, sink=lambda p: True, base_rtt_ms=20.0, jitter_ms=0.0)
+        packet = Packet(flow=flow.flow, size=172, created_at=0.0)
+        packet.delivered_at = 0.1
+        flow.on_delivered(packet)
+        assert flow.rtts_ms == [pytest.approx(120.0)]
+
+    def test_drop_accounting(self):
+        clock = SimClock()
+        flow = VoipFlow(clock, sink=lambda p: False)
+        flow.start()
+        clock.run_until(0.1)
+        assert flow.stats.dropped_pkts == flow.stats.sent_pkts > 0
+
+    def test_stop(self):
+        clock = SimClock()
+        flow = VoipFlow(clock, sink=lambda p: True)
+        flow.start()
+        clock.run_until(0.1)
+        flow.stop()
+        count = flow.frames_sent
+        clock.run_until(1.0)
+        assert flow.frames_sent == count
+
+    def test_double_start_rejected(self):
+        flow = VoipFlow(SimClock(), sink=lambda p: True)
+        flow.start()
+        with pytest.raises(RuntimeError):
+            flow.start()
+
+    def test_jitter_deterministic(self):
+        def run(seed):
+            clock = SimClock()
+            flow = VoipFlow(clock, sink=lambda p: True, seed=seed)
+            for index in range(10):
+                packet = Packet(flow=flow.flow, size=172, created_at=0.0)
+                packet.delivered_at = 0.01
+                flow.on_delivered(packet)
+            return flow.rtts_ms
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+
+class TestCubicState:
+    def test_slow_start_doubles_per_rtt_worth(self):
+        state = CubicState(cwnd=2.0)
+        for _ in range(8):
+            state.on_ack(0.0)
+        assert state.cwnd == 10.0
+
+    def test_loss_multiplicative_decrease(self):
+        state = CubicState(cwnd=100.0)
+        state.on_loss(1.0)
+        assert state.cwnd == pytest.approx(70.0)
+        assert state.w_max == 100.0
+        assert state.ssthresh == pytest.approx(70.0)
+
+    def test_cubic_regrows_to_wmax(self):
+        state = CubicState(cwnd=100.0)
+        state.on_loss(0.0)
+        now = 0.0
+        for _ in range(40000):
+            now += 0.001
+            state.on_ack(now)
+        assert state.cwnd >= 95.0
+
+    def test_floor_of_two(self):
+        state = CubicState(cwnd=2.0)
+        state.on_loss(0.0)
+        assert state.cwnd == 2.0
+
+
+class TestCubicFlow:
+    def test_fills_window(self):
+        clock = SimClock()
+        sent = []
+        flow = CubicFlow(clock, sink=lambda p: (sent.append(p), True)[1])
+        flow.start()
+        assert len(sent) == int(flow.state.cwnd)
+        assert flow.in_flight == len(sent)
+
+    def test_ack_clocking_sustains_flow(self):
+        clock = SimClock()
+        delivered = []
+
+        def sink(packet):
+            # Deliver instantly: schedule the ACK path.
+            packet.delivered_at = clock.now
+            delivered.append(packet)
+            flow.on_delivered(packet)
+            return True
+
+        flow = CubicFlow(clock, sink=sink, ack_delay_s=0.01)
+        # Leave slow start immediately so the lossless loop grows the
+        # window polynomially (cubic) instead of doubling per RTT.
+        flow.state.ssthresh = 12.0
+        flow.start()
+        clock.run_until(0.5)
+        assert len(delivered) > 100
+        assert flow.state.cwnd > 10.0  # grew past initial window
+
+    def test_drop_triggers_loss_event(self):
+        clock = SimClock()
+        budget = {"left": 5}
+
+        def sink(packet):
+            if budget["left"] <= 0:
+                return False
+            budget["left"] -= 1
+            return True
+
+        flow = CubicFlow(clock, sink=sink)
+        flow.state.cwnd = 20.0
+        flow.start()
+        assert flow.losses == 1
+        assert flow.state.cwnd == pytest.approx(14.0)  # 20 * 0.7
+
+    def test_stop_prevents_refill(self):
+        clock = SimClock()
+        flow = CubicFlow(clock, sink=lambda p: True)
+        flow.start()
+        flow.stop()
+        sent_before = flow.stats.sent_pkts
+        flow._on_ack()
+        assert flow.stats.sent_pkts == sent_before
+
+
+class TestFullBuffer:
+    def test_tops_up_to_target(self):
+        clock = SimClock()
+        backlog = {"v": 0}
+
+        def sink(packet):
+            backlog["v"] += packet.size
+            return True
+
+        flow = FullBufferFlow(
+            clock, sink=sink, backlog_probe=lambda: backlog["v"], target_backlog=10_000
+        )
+        flow.start()
+        clock.run_until(0.01)
+        assert backlog["v"] >= 10_000
+
+    def test_no_injection_when_full(self):
+        clock = SimClock()
+        flow = FullBufferFlow(
+            clock, sink=lambda p: True, backlog_probe=lambda: 10**9, target_backlog=100
+        )
+        flow.start()
+        clock.run_until(0.05)
+        assert flow.stats.sent_pkts == 0
+
+    def test_onoff_schedule(self):
+        clock = SimClock()
+        backlog = {"v": 0}
+        inner = FullBufferFlow(
+            clock,
+            sink=lambda p: True,
+            backlog_probe=lambda: 0,  # always hungry while on
+            target_backlog=1,
+        )
+        onoff = OnOffFlow(clock, inner, [(1.0, 2.0), (3.0, 4.0)])
+        onoff.arm()
+        clock.run_until(0.9)
+        assert inner.stats.sent_pkts == 0
+        clock.run_until(2.5)
+        mid = inner.stats.sent_pkts
+        assert mid > 0
+        clock.run_until(2.9)
+        assert inner.stats.sent_pkts == mid  # off period
+        clock.run_until(3.5)
+        assert inner.stats.sent_pkts > mid
+
+    def test_onoff_bad_interval(self):
+        with pytest.raises(ValueError):
+            OnOffFlow(SimClock(), None, [(2.0, 1.0)])
+
+
+class TestDeliveryHub:
+    def test_routes_by_flow(self):
+        hub = DeliveryHub()
+        a_flow = FiveTuple("1.1.1.1", "2.2.2.2", 1, 2, "udp")
+        b_flow = FiveTuple("3.3.3.3", "2.2.2.2", 1, 2, "tcp")
+        got = {"a": [], "b": []}
+        hub.register(a_flow, got["a"].append)
+        hub.register(b_flow, got["b"].append)
+        hub(Packet(flow=a_flow, size=1, created_at=0.0))
+        hub(Packet(flow=b_flow, size=1, created_at=0.0))
+        hub(Packet(flow=FiveTuple("9", "9", 9, 9, "udp"), size=1, created_at=0.0))
+        assert len(got["a"]) == 1 and len(got["b"]) == 1
+
+    def test_unregister(self):
+        hub = DeliveryHub()
+        flow = FiveTuple("1.1.1.1", "2.2.2.2", 1, 2, "udp")
+        got = []
+        hub.register(flow, got.append)
+        hub.unregister(flow)
+        hub(Packet(flow=flow, size=1, created_at=0.0))
+        assert got == []

@@ -1,0 +1,249 @@
+"""Unit and integration tests for framing and transports."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.transport import (
+    Framer,
+    InProcTransport,
+    TcpTransport,
+    TransportEvents,
+    frame_message,
+)
+from repro.core.transport.framing import MAX_MESSAGE_BYTES, FramingError
+
+
+class TestFraming:
+    def test_roundtrip_single(self):
+        framer = Framer()
+        assert framer.feed(frame_message(b"hello")) == [b"hello"]
+
+    def test_two_messages_one_chunk(self):
+        framer = Framer()
+        assert framer.feed(frame_message(b"a") + frame_message(b"bb")) == [b"a", b"bb"]
+
+    def test_split_across_chunks(self):
+        framer = Framer()
+        frame = frame_message(b"hello world")
+        out = []
+        for index in range(len(frame)):
+            out.extend(framer.feed(frame[index:index + 1]))
+        assert out == [b"hello world"]
+        assert framer.pending_bytes == 0
+
+    def test_empty_message(self):
+        framer = Framer()
+        assert framer.feed(frame_message(b"")) == [b""]
+
+    def test_partial_buffers(self):
+        framer = Framer()
+        frame = frame_message(b"abcdef")
+        assert framer.feed(frame[:3]) == []
+        assert framer.pending_bytes == 3
+        assert framer.feed(frame[3:]) == [b"abcdef"]
+
+    def test_oversize_frame_rejected(self):
+        framer = Framer()
+        bogus = (MAX_MESSAGE_BYTES + 1).to_bytes(4, "big") + b"x"
+        with pytest.raises(FramingError):
+            framer.feed(bogus)
+
+    def test_oversize_send_rejected(self):
+        with pytest.raises(FramingError):
+            frame_message(b"\0" * (MAX_MESSAGE_BYTES + 1))
+
+
+class TestInProc:
+    def test_listen_connect_deliver(self):
+        transport = InProcTransport()
+        got = []
+        transport.listen("a", TransportEvents(on_message=lambda e, d: got.append(d)))
+        conn = transport.connect("a", TransportEvents())
+        conn.send(b"x")
+        assert got == [b"x"]
+
+    def test_request_response_flat_stack(self):
+        transport = InProcTransport()
+        transport.listen(
+            "a", TransportEvents(on_message=lambda e, d: e.send(d + b"!") if len(d) < 20 else None)
+        )
+        replies = []
+        conn = transport.connect("a", TransportEvents(on_message=lambda e, d: replies.append(d)))
+        conn.send(b"ping")
+        assert replies == [b"ping!"]
+
+    def test_connect_unknown_address(self):
+        with pytest.raises(ConnectionError):
+            InProcTransport().connect("nowhere", TransportEvents())
+
+    def test_duplicate_listen_rejected(self):
+        transport = InProcTransport()
+        transport.listen("a", TransportEvents())
+        with pytest.raises(OSError):
+            transport.listen("a", TransportEvents())
+
+    def test_listener_close_frees_address(self):
+        transport = InProcTransport()
+        listener = transport.listen("a", TransportEvents())
+        listener.close()
+        transport.listen("a", TransportEvents())  # no raise
+
+    def test_on_connected_fires_both_sides(self):
+        transport = InProcTransport()
+        events = []
+        transport.listen("a", TransportEvents(on_connected=lambda e: events.append("server")))
+        transport.connect("a", TransportEvents(on_connected=lambda e: events.append("client")))
+        assert events == ["server", "client"]
+
+    def test_close_notifies_peer(self):
+        transport = InProcTransport()
+        dropped = []
+        transport.listen(
+            "a", TransportEvents(on_disconnected=lambda e: dropped.append("server"))
+        )
+        conn = transport.connect("a", TransportEvents())
+        conn.close()
+        assert dropped == ["server"]
+
+    def test_send_after_close_raises(self):
+        transport = InProcTransport()
+        transport.listen("a", TransportEvents())
+        conn = transport.connect("a", TransportEvents())
+        conn.close()
+        with pytest.raises(ConnectionError):
+            conn.send(b"x")
+
+    def test_send_non_bytes_rejected(self):
+        transport = InProcTransport()
+        transport.listen("a", TransportEvents())
+        conn = transport.connect("a", TransportEvents())
+        with pytest.raises(TypeError):
+            conn.send("text")
+
+    def test_byte_accounting(self):
+        transport = InProcTransport()
+        transport.listen("a", TransportEvents())
+        conn = transport.connect("a", TransportEvents())
+        conn.send(b"12345")
+        conn.send(b"67")
+        assert conn.bytes_sent == 7
+        assert conn.messages_sent == 2
+
+    def test_many_messages_preserve_order(self):
+        transport = InProcTransport()
+        got = []
+        transport.listen("a", TransportEvents(on_message=lambda e, d: got.append(d)))
+        conn = transport.connect("a", TransportEvents())
+        for index in range(100):
+            conn.send(str(index).encode())
+        assert got == [str(i).encode() for i in range(100)]
+
+
+class TestTcp:
+    def _pair(self, transport, server_events=None):
+        listener = transport.listen("127.0.0.1:0", server_events or TransportEvents())
+        return listener
+
+    def test_echo_roundtrip(self):
+        transport = TcpTransport()
+        transport.start()
+        try:
+            listener = transport.listen(
+                "127.0.0.1:0", TransportEvents(on_message=lambda e, d: e.send(d[::-1]))
+            )
+            done = threading.Event()
+            out = []
+            conn = transport.connect(
+                f"127.0.0.1:{listener.port}",
+                TransportEvents(on_message=lambda e, d: (out.append(d), done.set())),
+            )
+            conn.send(b"abc")
+            assert done.wait(5.0)
+            assert out == [b"cba"]
+        finally:
+            transport.stop()
+
+    def test_large_message_boundaries(self):
+        transport = TcpTransport()
+        transport.start()
+        try:
+            got = []
+            done = threading.Event()
+
+            def on_message(endpoint, data):
+                got.append(len(data))
+                if len(got) == 3:
+                    done.set()
+
+            listener = transport.listen("127.0.0.1:0", TransportEvents(on_message=on_message))
+            conn = transport.connect(f"127.0.0.1:{listener.port}", TransportEvents())
+            conn.send(b"a" * 1_000_000)
+            conn.send(b"b")
+            conn.send(b"c" * 5000)
+            assert done.wait(10.0)
+            assert got == [1_000_000, 1, 5000]
+        finally:
+            transport.stop()
+
+    def test_disconnect_event(self):
+        transport = TcpTransport()
+        transport.start()
+        try:
+            server_conns = []
+            dropped = threading.Event()
+            listener = transport.listen(
+                "127.0.0.1:0",
+                TransportEvents(
+                    on_connected=server_conns.append,
+                    on_disconnected=lambda e: dropped.set(),
+                ),
+            )
+            conn = transport.connect(f"127.0.0.1:{listener.port}", TransportEvents())
+            deadline = time.time() + 5
+            while not server_conns and time.time() < deadline:
+                time.sleep(0.01)
+            conn.close()
+            assert dropped.wait(5.0)
+        finally:
+            transport.stop()
+
+    def test_connect_refused(self):
+        transport = TcpTransport()
+        transport.start()
+        try:
+            with pytest.raises(OSError):
+                transport.connect("127.0.0.1:1", TransportEvents())
+        finally:
+            transport.stop()
+
+    def test_bad_address_format(self):
+        transport = TcpTransport()
+        with pytest.raises(ValueError):
+            transport.connect("localhost", TransportEvents())
+
+    def test_concurrent_connections(self):
+        transport = TcpTransport()
+        transport.start()
+        try:
+            got = []
+            lock = threading.Lock()
+
+            def on_message(endpoint, data):
+                with lock:
+                    got.append(data)
+
+            listener = transport.listen("127.0.0.1:0", TransportEvents(on_message=on_message))
+            conns = [
+                transport.connect(f"127.0.0.1:{listener.port}", TransportEvents())
+                for _ in range(8)
+            ]
+            for index, conn in enumerate(conns):
+                conn.send(f"m{index}".encode())
+            deadline = time.time() + 5
+            while len(got) < 8 and time.time() < deadline:
+                time.sleep(0.01)
+            assert sorted(got) == sorted(f"m{i}".encode() for i in range(8))
+        finally:
+            transport.stop()
