@@ -117,6 +117,15 @@ class RelayController:
         """Attach to the upstream controller (hop 2)."""
         return self.agent.connect(address)
 
+    def connect_upstream_async(self, address: str) -> int:
+        """Start attaching upstream without waiting for E2 setup.
+
+        For single-threaded harnesses that drive the shared transport
+        inline: the setup exchange completes as the caller steps the
+        event loop.
+        """
+        return self.agent.connect_async(address)
+
     def south_function(self, oid: str) -> Optional[Tuple[int, int]]:
         """(conn_id, function_id) of the first southbound agent
         exposing ``oid``, or None."""

@@ -304,8 +304,11 @@ class VirtualizationController:
             raise RuntimeError("southbound node lacks the SC SM")
         self._sc_fid = sc_item.ran_function_id
         self._south_control(slice_ctrl.build_set_algo(slice_ctrl.ALGO_NVS, self.sm_codec))
-        for state in self._tenants.values():
-            self._south_control(
+        # Install every tenant's default slice in one coalesced burst.
+        self.server.control_many(
+            conn_id=self._south_conn,
+            ran_function_id=self._sc_fid,
+            payloads=[
                 slice_ctrl.build_add_slice(
                     SliceConfig(
                         slice_id=state.default_physical_id,
@@ -315,7 +318,9 @@ class VirtualizationController:
                     ),
                     self.sm_codec,
                 )
-            )
+                for state in self._tenants.values()
+            ],
+        )
         mac_item = record.function_by_oid(mac_stats.INFO.oid)
         if mac_item is not None:
             self.server.subscribe(

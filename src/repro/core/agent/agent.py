@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.codec.base import Codec, get_codec
 from repro.core.e2ap.ies import GlobalE2NodeId, RanFunctionItem, RicRequestId
@@ -199,6 +199,16 @@ class Agent(IndicationSink):
 
     def send_indication(self, origin: int, indication: RicIndication) -> None:
         self._send(origin, indication)
+
+    def send_indications(self, origin: int, indications: Sequence[RicIndication]) -> None:
+        if not indications:
+            return
+        endpoint = self._endpoints.get(origin)
+        if endpoint is None or endpoint.closed:
+            raise ConnectionError(f"no live connection for origin {origin}")
+        with self.cpu.measure():
+            batch = [encode_message(message, self.codec) for message in indications]
+        endpoint.send_many(batch)
 
     def _send(self, origin: int, message: E2Message) -> None:
         endpoint = self._endpoints.get(origin)

@@ -11,7 +11,7 @@ custom functions the same way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.e2ap.ies import (
     RicActionAdmitted,
@@ -67,6 +67,16 @@ class IndicationSink:
 
     def send_indication(self, origin: int, indication: RicIndication) -> None:
         raise NotImplementedError
+
+    def send_indications(self, origin: int, indications: Sequence[RicIndication]) -> None:
+        """Hand over a burst of indications for the same controller.
+
+        Default falls back to one ``send_indication`` per item; the
+        agent overrides it to coalesce the burst into one transport
+        write.
+        """
+        for indication in indications:
+            self.send_indication(origin, indication)
 
 
 class RanFunction:
@@ -163,6 +173,44 @@ class RanFunction:
             payload=payload,
         )
         self._sink.send_indication(handle.origin, indication)
+
+    def emit_many(
+        self,
+        handle: SubscriptionHandle,
+        entries: Sequence[Tuple[int, bytes, bytes]],
+        kind: RicIndicationKind = RicIndicationKind.REPORT,
+    ) -> None:
+        """Send one indication per ``(action_id, header, payload)``.
+
+        Sequence numbers stay consecutive per subscription exactly as
+        repeated :meth:`emit` calls would produce; the burst reaches
+        the transport as one coalesced write.
+        """
+        if self._sink is None:
+            raise RuntimeError(f"RAN function {self.name} not bound to an agent")
+        if not entries:
+            return
+        key = handle.key()
+        sequence = self._sequences.get(key, 0)
+        indications = []
+        for action_id, header, payload in entries:
+            indications.append(
+                RicIndication(
+                    request=handle.request,
+                    ran_function_id=self.ran_function_id,
+                    action_id=action_id,
+                    sequence=sequence,
+                    kind=kind,
+                    header=header,
+                    payload=payload,
+                )
+            )
+            sequence += 1
+        self._sequences[key] = sequence
+        if len(indications) == 1:
+            self._sink.send_indication(handle.origin, indications[0])
+        else:
+            self._sink.send_indications(handle.origin, indications)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(id={self.ran_function_id}, name={self.name!r})"

@@ -35,7 +35,7 @@ import struct
 from typing import Any, Dict, Iterator, List, Tuple
 
 from repro.core.codec import base
-from repro.core.codec.base import Codec, CodecError, validate_tree
+from repro.core.codec.base import Codec, CodecError
 
 _MAGIC = b"FR"
 _VERSION = 1
@@ -47,6 +47,50 @@ _U16 = struct.Struct("<H")
 
 _TAG_INTBIG = 15  # escape tag for ints outside int64 range
 
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = 1 << 63
+
+# Single-byte tag cells, preallocated so scalar encodes never build a
+# fresh one-byte object.
+_TAGB = tuple(bytes((tag,)) for tag in range(16))
+
+#: Encoded ``tag + int64`` cells for recently seen in-range ints.  E2AP
+#: traffic repeats the same small identifiers (request ids, function
+#: ids, UE counts) constantly; the cap bounds memory on adversarial
+#: value streams.
+_INT_CELLS: Dict[int, bytes] = {}
+_INT_CELLS_MAX = 1 << 16
+
+#: ``keylen(2) + key`` directory prefixes per field name; field-name
+#: vocabularies are tiny (one/two-letter E2AP keys), so this stays hot.
+_KEY_PREFIX: Dict[str, bytes] = {}
+_KEY_PREFIX_MAX = 1 << 12
+
+#: Raw key octets → interned field-name strings for the lazy reader;
+#: directory parsing then skips UTF-8 decoding for every repeated key.
+_KEY_INTERN: Dict[bytes, str] = {}
+_KEY_INTERN_MAX = 1 << 12
+
+#: Parsed dict directories keyed on their raw octets (count word
+#: included).  E2AP traffic re-sends the same tables with the same
+#: field sizes every period, so the per-message directory walk
+#: collapses to one slice and a dict hit.  The cached field table maps
+#: key → offset *relative to the value area* and is shared, read-only,
+#: by every view that hits it.  Only directories whose field names are
+#: all one octet (the entire E2AP vocabulary) are cached: their length
+#: is then exactly ``7 * count``, so the lookup slice is exact, and a
+#: byte-equal hit proves the layout — the directory walk is a pure
+#: function of those bytes.
+_DIR_CACHE: Dict[bytes, Dict[str, int]] = {}
+_DIR_CACHE_MAX = 1 << 10
+_DIR_CACHE_FIELDS = 18  # bounds speculative-key size to ~128 octets
+
+#: Same idea for list size-prefix blocks: count word + size words →
+#: relative element offsets.  List blocks are fixed-width, so the key
+#: is exact (no window needed); the item cap bounds key size.
+_LIST_DIR_CACHE: Dict[bytes, Tuple[int, ...]] = {}
+_LIST_CACHE_ITEMS = 64
+
 
 class FlatCodec(Codec):
     """Byte-aligned, offset-indexed codec (registry name ``"fb"``)."""
@@ -54,8 +98,7 @@ class FlatCodec(Codec):
     name = "fb"
 
     def encode(self, value: Any) -> bytes:
-        validate_tree(value)
-        body = _encode_value(value)
+        body = _encode_value(value, 0)
         return _HEADER.pack(_MAGIC, _VERSION, 0, len(body)) + body
 
     def decode(self, data: bytes) -> Any:
@@ -73,48 +116,80 @@ class FlatCodec(Codec):
             raise CodecError(f"unsupported flat version: {version}")
         if _HEADER.size + root_size > len(data):
             raise CodecError("flat root size exceeds buffer")
-        view = memoryview(data)
-        return _lazy_value(view, _HEADER.size)
+        # Lazy access works on the bytes object directly: containers
+        # are located by offset (never sliced), and scalar/string reads
+        # slice exactly the octets they return, so no memoryview
+        # indirection is needed to stay zero-copy.
+        return _lazy_value(data, _HEADER.size)
 
 
 # -- encoding --------------------------------------------------------
 
 
-def _encode_value(value: Any) -> bytes:
+def _encode_value(value: Any, depth: int) -> bytes:
+    """Encode one value; validation is folded into the single walk."""
     if value is None:
-        return bytes((base.TAG_NONE,))
+        return _TAGB[base.TAG_NONE]
     if value is True:
-        return bytes((base.TAG_TRUE,))
+        return _TAGB[base.TAG_TRUE]
     if value is False:
-        return bytes((base.TAG_FALSE,))
-    if isinstance(value, int):
-        if -(1 << 63) <= value < (1 << 63):
-            return bytes((base.TAG_INT,)) + _I64.pack(value)
+        return _TAGB[base.TAG_FALSE]
+    kind = type(value)
+    if kind is int or (kind is not bool and isinstance(value, int)):
+        cell = _INT_CELLS.get(value)
+        if cell is not None:
+            return cell
+        if _INT64_MIN <= value < _INT64_MAX:
+            cell = _TAGB[base.TAG_INT] + _I64.pack(value)
+            if len(_INT_CELLS) < _INT_CELLS_MAX:
+                _INT_CELLS[int(value)] = cell
+            return cell
         raw = _bigint_to_bytes(value)
-        return bytes((_TAG_INTBIG,)) + _U32.pack(len(raw)) + raw
-    if isinstance(value, float):
-        return bytes((base.TAG_FLOAT,)) + _F64.pack(value)
-    if isinstance(value, str):
+        return _TAGB[_TAG_INTBIG] + _U32.pack(len(raw)) + raw
+    if kind is float:
+        return _TAGB[base.TAG_FLOAT] + _F64.pack(value)
+    if kind is str:
         raw = value.encode("utf-8")
-        return bytes((base.TAG_STR,)) + _U32.pack(len(raw)) + raw
-    if isinstance(value, bytes):
-        return bytes((base.TAG_BYTES,)) + _U32.pack(len(value)) + value
-    if isinstance(value, list):
-        encoded = [_encode_value(item) for item in value]
-        parts = [bytes((base.TAG_LIST,)), _U32.pack(len(encoded))]
+        return _TAGB[base.TAG_STR] + _U32.pack(len(raw)) + raw
+    if kind is bytes:
+        return _TAGB[base.TAG_BYTES] + _U32.pack(len(value)) + value
+    if kind is list or isinstance(value, list):
+        if depth >= 64 and value:
+            raise CodecError("value tree deeper than 64 levels")
+        child = depth + 1
+        encoded = [_encode_value(item, child) for item in value]
+        parts = [_TAGB[base.TAG_LIST], _U32.pack(len(encoded))]
         parts.extend(_U32.pack(len(chunk)) for chunk in encoded)
         parts.extend(encoded)
         return b"".join(parts)
-    if isinstance(value, dict):
-        keys = [key.encode("utf-8") for key in value]
-        encoded = [_encode_value(item) for item in value.values()]
-        parts = [bytes((base.TAG_DICT,)), _U32.pack(len(encoded))]
-        for key, chunk in zip(keys, encoded):
-            parts.append(_U16.pack(len(key)))
-            parts.append(key)
-            parts.append(_U32.pack(len(chunk)))
+    if kind is dict or isinstance(value, dict):
+        if depth >= 64 and value:
+            raise CodecError("value tree deeper than 64 levels")
+        child = depth + 1
+        encoded = [_encode_value(item, child) for item in value.values()]
+        parts = [_TAGB[base.TAG_DICT], _U32.pack(len(encoded))]
+        append = parts.append
+        for key, chunk in zip(value.keys(), encoded):
+            prefix = _KEY_PREFIX.get(key)
+            if prefix is None:
+                if not isinstance(key, str):
+                    raise CodecError(f"non-string dict key: {key!r}")
+                raw = key.encode("utf-8")
+                prefix = _U16.pack(len(raw)) + raw
+                if len(_KEY_PREFIX) < _KEY_PREFIX_MAX:
+                    _KEY_PREFIX[key] = prefix
+            append(prefix)
+            append(_U32.pack(len(chunk)))
         parts.extend(encoded)
         return b"".join(parts)
+    if isinstance(value, (float, str, bytes)):
+        # subclass instances reach here; encode via the base type
+        if isinstance(value, float):
+            return _TAGB[base.TAG_FLOAT] + _F64.pack(value)
+        if isinstance(value, str):
+            raw = str(value).encode("utf-8")
+            return _TAGB[base.TAG_STR] + _U32.pack(len(raw)) + raw
+        return _TAGB[base.TAG_BYTES] + _U32.pack(len(value)) + bytes(value)
     raise CodecError(f"unsupported type: {type(value).__name__}")
 
 
@@ -128,7 +203,7 @@ def _bigint_to_bytes(value: int) -> bytes:
 # -- lazy reading ----------------------------------------------------
 
 
-def _lazy_value(buf: memoryview, offset: int) -> Any:
+def _lazy_value(buf: bytes, offset: int) -> Any:
     """Decode a scalar in place, or wrap a container in a lazy view.
 
     Corruption surfaces lazily (a flipped size word is only hit when
@@ -144,61 +219,90 @@ def _lazy_value(buf: memoryview, offset: int) -> Any:
         raise CodecError(f"corrupt flat buffer: {exc}") from exc
 
 
-def _lazy_value_unchecked(buf: memoryview, offset: int) -> Any:
+def _lazy_value_unchecked(buf: bytes, offset: int) -> Any:
+    # Tags are tested hottest-first: E2AP headers are dominated by int
+    # scalars, octet-string payloads, and nested tables.
     tag = buf[offset]
+    if tag == base.TAG_INT:
+        return _I64.unpack_from(buf, offset + 1)[0]
+    if tag == base.TAG_BYTES:
+        size = _U32.unpack_from(buf, offset + 1)[0]
+        return buf[offset + 5:offset + 5 + size]
+    if tag == base.TAG_DICT:
+        return FlatView(buf, offset)
+    if tag == base.TAG_STR:
+        size = _U32.unpack_from(buf, offset + 1)[0]
+        return buf[offset + 5:offset + 5 + size].decode("utf-8")
+    if tag == base.TAG_LIST:
+        return FlatListView(buf, offset)
     if tag == base.TAG_NONE:
         return None
     if tag == base.TAG_TRUE:
         return True
     if tag == base.TAG_FALSE:
         return False
-    if tag == base.TAG_INT:
-        return _I64.unpack_from(buf, offset + 1)[0]
-    if tag == _TAG_INTBIG:
-        size = _U32.unpack_from(buf, offset + 1)[0]
-        raw = bytes(buf[offset + 5:offset + 5 + size])
-        magnitude = int.from_bytes(raw[1:], "little")
-        return -magnitude if raw[0] else magnitude
     if tag == base.TAG_FLOAT:
         return _F64.unpack_from(buf, offset + 1)[0]
-    if tag == base.TAG_STR:
+    if tag == _TAG_INTBIG:
         size = _U32.unpack_from(buf, offset + 1)[0]
-        return bytes(buf[offset + 5:offset + 5 + size]).decode("utf-8")
-    if tag == base.TAG_BYTES:
-        size = _U32.unpack_from(buf, offset + 1)[0]
-        return bytes(buf[offset + 5:offset + 5 + size])
-    if tag == base.TAG_LIST:
-        return FlatListView(buf, offset)
-    if tag == base.TAG_DICT:
-        return FlatView(buf, offset)
+        raw = buf[offset + 5:offset + 5 + size]
+        magnitude = int.from_bytes(raw[1:], "little")
+        return -magnitude if raw[0] else magnitude
     raise CodecError(f"unknown flat tag: {tag}")
 
 
 class FlatListView:
-    """Lazy list over a flat buffer; items decode on access."""
+    """Lazy list over a flat buffer; items decode on access.
 
-    __slots__ = ("_buf", "_offsets")
+    Element offsets are kept relative to the value area and shared via
+    :data:`_LIST_DIR_CACHE` when the same size-prefix block repeats.
+    """
 
-    def __init__(self, buf: memoryview, offset: int) -> None:
+    __slots__ = ("_buf", "_base", "_rels")
+
+    def __init__(self, buf: bytes, offset: int) -> None:
         count = _U32.unpack_from(buf, offset + 1)[0]
         sizes_at = offset + 5
-        cursor = sizes_at + 4 * count
-        offsets: List[int] = []
-        for index in range(count):
-            offsets.append(cursor)
-            cursor += _U32.unpack_from(buf, sizes_at + 4 * index)[0]
+        base_at = sizes_at + 4 * count
+        cacheable = count <= _LIST_CACHE_ITEMS
+        if cacheable:
+            block = buf[offset + 1:base_at]
+            rels = _LIST_DIR_CACHE.get(block)
+            if rels is None:
+                acc = 0
+                offsets: List[int] = []
+                for (size,) in _U32.iter_unpack(block[4:]):
+                    offsets.append(acc)
+                    acc += size
+                rels = tuple(offsets)
+                if len(rels) != count:
+                    raise CodecError(
+                        f"flat list sizes truncated: {len(rels)} < {count}"
+                    )
+                if len(_LIST_DIR_CACHE) < _DIR_CACHE_MAX:
+                    _LIST_DIR_CACHE[block] = rels
+        else:
+            acc = 0
+            offsets = []
+            for index in range(count):
+                offsets.append(acc)
+                acc += _U32.unpack_from(buf, sizes_at + 4 * index)[0]
+            rels = tuple(offsets)
         self._buf = buf
-        self._offsets = offsets
+        self._base = base_at
+        self._rels = rels
 
     def __len__(self) -> int:
-        return len(self._offsets)
+        return len(self._rels)
 
     def __getitem__(self, index: int) -> Any:
-        return _lazy_value(self._buf, self._offsets[index])
+        return _lazy_value(self._buf, self._base + self._rels[index])
 
     def __iter__(self) -> Iterator[Any]:
-        for offset in self._offsets:
-            yield _lazy_value(self._buf, offset)
+        buf = self._buf
+        base = self._base
+        for rel in self._rels:
+            yield _lazy_value(buf, base + rel)
 
     def to_list(self) -> List[Any]:
         """Materialize every element (recursively plain)."""
@@ -224,29 +328,57 @@ class FlatView:
     4x CPU advantage at the controller (§5.3).
     """
 
-    __slots__ = ("_buf", "_fields")
+    __slots__ = ("_buf", "_base", "_fields")
 
-    def __init__(self, buf: memoryview, offset: int) -> None:
+    def __init__(self, buf: bytes, offset: int) -> None:
         count = _U32.unpack_from(buf, offset + 1)[0]
         cursor = offset + 5
-        directory: List[Tuple[str, int]] = []  # (key, value size) in order
+        # Speculative exact-length key assuming one-octet field names;
+        # a hit does no per-field work at all.  Dicts with longer
+        # names simply never match and take the full parse below.
+        if count <= _DIR_CACHE_FIELDS:
+            window = buf[offset + 1:cursor + 7 * count]
+            fields = _DIR_CACHE.get(window)
+            if fields is not None:
+                self._buf = buf
+                self._base = cursor + 7 * count
+                self._fields = fields
+                return
+        unpack_u16 = _U16.unpack_from
+        unpack_u32 = _U32.unpack_from
+        intern = _KEY_INTERN
+        keys_list: List[str] = []
+        sizes: List[int] = []
         for _ in range(count):
-            key_len = _U16.unpack_from(buf, cursor)[0]
+            key_len = unpack_u16(buf, cursor)[0]
             cursor += 2
-            key = bytes(buf[cursor:cursor + key_len]).decode("utf-8")
+            raw = buf[cursor:cursor + key_len]
+            key = intern.get(raw)
+            if key is None:
+                key = raw.decode("utf-8")
+                if len(intern) < _KEY_INTERN_MAX:
+                    intern[raw] = key
             cursor += key_len
-            size = _U32.unpack_from(buf, cursor)[0]
+            sizes.append(unpack_u32(buf, cursor)[0])
             cursor += 4
-            directory.append((key, size))
+            keys_list.append(key)
         fields: Dict[str, int] = {}
-        for key, size in directory:
-            fields[key] = cursor
-            cursor += size
+        rel = 0
+        for key, size in zip(keys_list, sizes):
+            fields[key] = rel
+            rel += size
+        if (
+            count <= _DIR_CACHE_FIELDS
+            and cursor - offset - 5 == 7 * count
+            and len(_DIR_CACHE) < _DIR_CACHE_MAX
+        ):
+            _DIR_CACHE[window] = fields
         self._buf = buf
+        self._base = cursor
         self._fields = fields
 
     def __getitem__(self, key: str) -> Any:
-        return _lazy_value(self._buf, self._fields[key])
+        return _lazy_value(self._buf, self._base + self._fields[key])
 
     def get(self, key: str, default: Any = None) -> Any:
         if key in self._fields:
@@ -266,12 +398,16 @@ class FlatView:
         return len(self._fields)
 
     def items(self) -> Iterator[Tuple[str, Any]]:
-        for key in self._fields:
-            yield key, self[key]
+        buf = self._buf
+        base = self._base
+        for key, rel in self._fields.items():
+            yield key, _lazy_value(buf, base + rel)
 
     def values(self) -> Iterator[Any]:
-        for key in self._fields:
-            yield self[key]
+        buf = self._buf
+        base = self._base
+        for rel in self._fields.values():
+            yield _lazy_value(buf, base + rel)
 
     def to_dict(self) -> Dict[str, Any]:
         """Materialize the whole table into plain Python objects."""

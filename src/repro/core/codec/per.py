@@ -16,10 +16,10 @@ ranking versus the FlatBuffers-style codec matches the paper.
 from __future__ import annotations
 
 import struct
-from typing import Any
+from typing import Any, Dict
 
 from repro.core.codec import base
-from repro.core.codec.base import Codec, CodecError, validate_tree
+from repro.core.codec.base import Codec, CodecError
 from repro.core.codec.bitio import BitReader, BitWriter
 
 _TAG_WIDTH = 4
@@ -32,6 +32,13 @@ _SMALL_INT_LIMIT = 1 << 6  # ints below this inline in 6 bits after a flag
 #: at 100 B payloads to 66 % at 1500 B (§5.2).
 _FRAGMENT = 24
 
+#: Dict keys are written as an aligned length determinant plus raw
+#: octets, so for short keys the pair collapses to one cached cell
+#: appended after ``align()`` — the tiny E2AP field-name vocabulary
+#: makes this hit on every message.
+_KEY_CELLS: Dict[str, bytes] = {}
+_KEY_CELLS_MAX = 1 << 12
+
 
 class PerCodec(Codec):
     """Bit-packed, compact, CPU-bound codec (registry name ``"asn"``)."""
@@ -39,9 +46,8 @@ class PerCodec(Codec):
     name = "asn"
 
     def encode(self, value: Any) -> bytes:
-        validate_tree(value)
         writer = BitWriter()
-        self._encode_value(writer, value)
+        self._encode_value(writer, value, 0)
         writer.align()
         return writer.getvalue()
 
@@ -56,7 +62,8 @@ class PerCodec(Codec):
 
     # -- encoding ----------------------------------------------------
 
-    def _encode_value(self, writer: BitWriter, value: Any) -> None:
+    def _encode_value(self, writer: BitWriter, value: Any, depth: int) -> None:
+        """Encode one value; validation is folded into the single walk."""
         if value is None:
             writer.write_bits(base.TAG_NONE, _TAG_WIDTH)
         elif value is True:
@@ -78,44 +85,45 @@ class PerCodec(Codec):
             writer.write_varlen(len(value))
             self._write_octets(writer, value)
         elif isinstance(value, list):
+            if depth >= 64 and value:
+                raise CodecError("value tree deeper than 64 levels")
             writer.write_bits(base.TAG_LIST, _TAG_WIDTH)
             writer.write_varlen(len(value))
+            child = depth + 1
             for item in value:
-                self._encode_value(writer, item)
+                self._encode_value(writer, item, child)
         elif isinstance(value, dict):
+            if depth >= 64 and value:
+                raise CodecError("value tree deeper than 64 levels")
             writer.write_bits(base.TAG_DICT, _TAG_WIDTH)
             writer.write_varlen(len(value))
+            child = depth + 1
             for key, item in value.items():
-                raw = key.encode("utf-8")
-                writer.write_varlen(len(raw))
-                writer.write_bytes(raw)
-                self._encode_value(writer, item)
-        else:  # pragma: no cover - validate_tree rejects these first
+                cell = _KEY_CELLS.get(key)
+                if cell is None:
+                    if not isinstance(key, str):
+                        raise CodecError(f"non-string dict key: {key!r}")
+                    raw = key.encode("utf-8")
+                    if len(raw) < 0x80 and len(_KEY_CELLS) < _KEY_CELLS_MAX:
+                        # One-octet determinant + octets, reusable verbatim.
+                        _KEY_CELLS[key] = bytes((len(raw),)) + raw
+                    writer.write_varlen(len(raw))
+                    writer.write_bytes(raw)
+                else:
+                    writer.write_bytes(cell)
+                self._encode_value(writer, item, child)
+        else:
             raise CodecError(f"unsupported type: {type(value).__name__}")
 
     @staticmethod
     def _write_octets(writer: BitWriter, raw: bytes) -> None:
         """Fragmented octet-string write (per-octet cost model)."""
-        for offset in range(0, len(raw), _FRAGMENT):
-            fragment = raw[offset:offset + _FRAGMENT]
-            writer.write_bits(len(fragment) & 0x1F, 5)  # fragment marker
-            writer.write_bytes(fragment)
+        writer.write_fragmented(raw, _FRAGMENT)
 
     @staticmethod
     def _read_octets(reader: BitReader, length: int) -> bytes:
         """Inverse of :meth:`_write_octets`."""
-        chunks = []
-        remaining = length
-        while remaining > 0:
-            take = min(_FRAGMENT, remaining)
-            marker = reader.read_bits(5)
-            if marker != take & 0x1F:
-                raise CodecError(
-                    f"octet fragment marker mismatch: {marker} != {take & 0x1F}"
-                )
-            chunks.append(reader.read_bytes(take))
-            remaining -= take
-        return b"".join(chunks)
+        return reader.read_fragmented(length, _FRAGMENT)
 
     def _encode_int(self, writer: BitWriter, value: int) -> None:
         """Sign bit, then small-inline flag + 6 bits, or length+octets."""

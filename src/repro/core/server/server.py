@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.codec.base import Codec, get_codec
 from repro.core.e2ap.ies import RicActionDefinition, RicRequestId
@@ -84,21 +84,35 @@ class IndicationEvent:
     touches a handful of scalars — the paper's zero-copy dispatch.
     """
 
-    __slots__ = ("conn_id", "_body", "_payload", "_header")
+    __slots__ = ("conn_id", "_body", "_requestor", "_instance", "_payload", "_header")
 
     def __init__(self, conn_id: int, body: Any) -> None:
         self.conn_id = conn_id
         self._body = body
+        self._requestor: Optional[int] = None
+        self._instance: Optional[int] = None
         self._payload: Optional[bytes] = None
         self._header: Optional[bytes] = None
 
+    def _load_request(self) -> None:
+        # Routing reads the request id at least twice per indication
+        # (subscription lookup, then the iApp); resolve the lazy "q"
+        # table once and keep the scalars.
+        request = self._body["q"]
+        self._requestor = request["r"]
+        self._instance = request["i"]
+
     @property
     def requestor_id(self) -> int:
-        return self._body["q"]["r"]
+        if self._requestor is None:
+            self._load_request()
+        return self._requestor
 
     @property
     def instance_id(self) -> int:
-        return self._body["q"]["i"]
+        if self._instance is None:
+            self._load_request()
+        return self._instance
 
     @property
     def request(self) -> RicRequestId:
@@ -275,6 +289,41 @@ class Server:
         self._send(conn_id, message)
         return request
 
+    def control_many(
+        self,
+        conn_id: int,
+        ran_function_id: int,
+        payloads: Sequence[bytes],
+        header: bytes = b"",
+        ack_requested: bool = True,
+        requestor_id: int = 1,
+    ) -> List[RicRequestId]:
+        """Send a burst of control requests in one coalesced write.
+
+        Semantically identical to calling :meth:`control` once per
+        payload (same request-id allocation, same ordering); the batch
+        reaches the agent's endpoint through ``send_many`` so a stream
+        transport pays one syscall for the whole burst.
+        """
+        messages: List[E2Message] = []
+        ids: List[RicRequestId] = []
+        for payload in payloads:
+            request = RicRequestId(
+                requestor_id=requestor_id, instance_id=next(self._control_instances)
+            )
+            ids.append(request)
+            messages.append(
+                RicControlRequest(
+                    request=request,
+                    ran_function_id=ran_function_id,
+                    header=header,
+                    payload=payload,
+                    ack_requested=ack_requested,
+                )
+            )
+        self._send_batch(conn_id, messages)
+        return ids
+
     def agents(self) -> List[AgentRecord]:
         return self.randb.agents()
 
@@ -421,3 +470,13 @@ class Server:
         with self.cpu.measure():
             data = encode_message(message, self.codec)
         state.endpoint.send(data)
+
+    def _send_batch(self, conn_id: int, messages: Sequence[E2Message]) -> None:
+        if not messages:
+            return
+        state = self._conns.get(conn_id)
+        if state is None or state.endpoint.closed:
+            raise ConnectionError(f"no live agent connection {conn_id}")
+        with self.cpu.measure():
+            batch = [encode_message(message, self.codec) for message in messages]
+        state.endpoint.send_many(batch)

@@ -12,7 +12,7 @@ E2AP is *ordered, reliable message boundaries*; this package provides:
 """
 
 from repro.core.transport.base import Endpoint, Listener, Transport, TransportEvents
-from repro.core.transport.framing import Framer, frame_message
+from repro.core.transport.framing import Framer, frame_message, frame_messages
 from repro.core.transport.inproc import InProcTransport
 from repro.core.transport.tcp import TcpTransport
 
@@ -23,6 +23,7 @@ __all__ = [
     "TransportEvents",
     "Framer",
     "frame_message",
+    "frame_messages",
     "InProcTransport",
     "TcpTransport",
 ]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 
 class Endpoint(ABC):
@@ -16,6 +16,16 @@ class Endpoint(ABC):
     @abstractmethod
     def send(self, data: bytes) -> None:
         """Queue one message for delivery; raises if closed."""
+
+    def send_many(self, batch: Sequence[bytes]) -> None:
+        """Queue several messages; boundaries are preserved per item.
+
+        Default is a ``send`` loop; stream transports override it to
+        coalesce the batch into one write so a burst of messages pays
+        one syscall instead of one per message.
+        """
+        for data in batch:
+            self.send(data)
 
     @abstractmethod
     def close(self) -> None:

@@ -15,7 +15,7 @@ synchronous and deterministic.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
 
 from repro.core.transport.base import Endpoint, Listener, Transport, TransportEvents
 
@@ -48,6 +48,30 @@ class _InProcEndpoint(Endpoint):
         self.messages_sent += 1
         other = self._other
         self._transport._enqueue(lambda: other._events.on_message(other, bytes(data)))
+
+    def send_many(self, batch: Sequence[bytes]) -> None:
+        if not batch:
+            return
+        if self._closed:
+            raise ConnectionError("endpoint closed")
+        if self._other is None or self._other._closed:
+            raise ConnectionError("peer closed")
+        frozen = []
+        for data in batch:
+            if not isinstance(data, (bytes, bytearray)):
+                raise TypeError(f"send expects bytes, got {type(data).__name__}")
+            self.bytes_sent += len(data)
+            frozen.append(bytes(data))
+        self.messages_sent += len(frozen)
+        other = self._other
+
+        def deliver() -> None:
+            for data in frozen:
+                other._events.on_message(other, data)
+
+        # One queue entry for the batch mirrors the TCP transport's
+        # single coalesced write; delivery stays one message at a time.
+        self._transport._enqueue(deliver)
 
     def close(self) -> None:
         if self._closed:

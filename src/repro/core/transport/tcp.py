@@ -13,10 +13,10 @@ from __future__ import annotations
 import selectors
 import socket
 import threading
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.core.transport.base import Endpoint, Listener, Transport, TransportEvents
-from repro.core.transport.framing import Framer, frame_message
+from repro.core.transport.framing import Framer, frame_message, frame_messages
 
 
 def _parse_address(address: str) -> tuple:
@@ -51,6 +51,18 @@ class _TcpEndpoint(Endpoint):
             self._sock.sendall(frame)
         self.bytes_sent += len(data)
         self.messages_sent += 1
+
+    def send_many(self, batch: Sequence[bytes]) -> None:
+        if not batch:
+            return
+        if self._closed:
+            raise ConnectionError("endpoint closed")
+        # One coalesced write: the peer's framer restores boundaries.
+        wire = frame_messages(batch)
+        with self._send_lock:
+            self._sock.sendall(wire)
+        self.bytes_sent += sum(len(data) for data in batch)
+        self.messages_sent += len(batch)
 
     def close(self) -> None:
         self._transport._close_endpoint(self, notify_local=False)

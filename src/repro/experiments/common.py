@@ -67,8 +67,15 @@ class HwPingerIApp(IApp):
             ),
         )
 
-    def ping(self, payload: bytes, timeout_s: float = 5.0) -> float:
-        """One blocking ping; returns the RTT in microseconds."""
+    def ping(self, payload: bytes, timeout_s: float = 5.0, pump=None) -> float:
+        """One blocking ping; returns the RTT in microseconds.
+
+        ``pump`` (optional) is a zero-argument callable that advances
+        the transport inline (e.g. ``TcpTransport.step``).  When given,
+        the wait loop drives I/O on the calling thread instead of
+        blocking on another thread's dispatch — the RTT then measures
+        sockets and codecs, not Python thread-wakeup jitter.
+        """
         if self.conn_id is None or self.function_id is None:
             raise RuntimeError("no HW-capable agent connected")
         self._seq += 1
@@ -83,8 +90,15 @@ class HwPingerIApp(IApp):
             payload=data,
             ack_requested=False,
         )
-        if not self._reply_event.wait(timeout_s):
-            raise TimeoutError(f"ping {seq} timed out")
+        if pump is None:
+            if not self._reply_event.wait(timeout_s):
+                raise TimeoutError(f"ping {seq} timed out")
+        else:
+            deadline = time.perf_counter() + timeout_s
+            while not self._reply_event.is_set():
+                pump()
+                if time.perf_counter() > deadline:
+                    raise TimeoutError(f"ping {seq} timed out")
         return self.rtts_us[-1]
 
     def _on_pong(self, event) -> None:

@@ -49,9 +49,14 @@ class RttResult:
 def run_flexric_rtt(
     e2ap_codec: str, e2sm_codec: str, payload: int, pings: int = 50
 ) -> RttResult:
-    """Ping over real localhost TCP sockets, as the paper measured."""
+    """Ping over real localhost TCP sockets, as the paper measured.
+
+    Both ends share one selector loop driven inline from this thread
+    (mirroring the paper's epoll-based processes): the RTT then
+    reflects socket and codec costs instead of Python thread-wakeup
+    jitter, which would otherwise dwarf the codec differences.
+    """
     transport = TcpTransport()
-    transport.start()
     try:
         from repro.core.server.server import Server, ServerConfig
         from repro.experiments.common import FlexRicPair, HwPingerIApp
@@ -70,15 +75,19 @@ def run_flexric_rtt(
             transport=transport,
         )
         agent.register_function(hw.HwRanFunction(sm_codec=e2sm_codec))
-        agent.connect(listener.address)
-        if not pinger.subscribed.wait(5.0):
-            raise TimeoutError("subscription did not complete")
+        agent.connect_async(listener.address)
+        deadline = time.time() + 5.0
+        while not pinger.subscribed.is_set():
+            transport.step(0.05)
+            if time.time() > deadline:
+                raise TimeoutError("subscription did not complete")
+        pump = lambda: transport.step(0.05)
         data = b"p" * payload
-        for _ in range(3):  # warm-up
-            pinger.ping(data)
+        for _ in range(10):  # warm-up: sockets, codec caches, allocator
+            pinger.ping(data, pump=pump)
         pinger.rtts_us.clear()
         for _ in range(pings):
-            pinger.ping(data)
+            pinger.ping(data, pump=pump)
         return RttResult(
             label=f"{e2ap_codec}/{e2sm_codec}",
             payload=payload,

@@ -47,9 +47,14 @@ class TwoHopRtt:
 def run_flexric_two_hop(
     codec: str, payload: int, pings: int = 30
 ) -> TwoHopRtt:
-    """Ping through a relaying controller over localhost TCP."""
+    """Ping through a relaying controller over localhost TCP.
+
+    All three processes (pinger controller, relay, agent) share one
+    selector loop driven inline from this thread, so the RTT reflects
+    socket and codec costs rather than Python thread-wakeup jitter —
+    the same methodology as the Fig. 7 single-hop measurement.
+    """
     transport = TcpTransport()
-    transport.start()
     try:
         relay = RelayController(
             transport,
@@ -64,22 +69,32 @@ def run_flexric_two_hop(
             transport=transport,
         )
         agent.register_function(hw.HwRanFunction(sm_codec=codec))
-        agent.connect(relay_address)
+        agent.connect_async(relay_address)
+        deadline = time.time() + 5.0
+        # Southbound hop first: the relay can only admit the upstream
+        # subscription once it has learned the agent's RAN functions.
+        while relay.south_function(hw.INFO.oid) is None:
+            transport.step(0.05)
+            if time.time() > deadline:
+                raise TimeoutError("southbound E2 setup did not complete")
 
         upstream = Server(ServerConfig(e2ap_codec=codec))
         upstream_listener = upstream.listen(transport, "127.0.0.1:0")
         pinger = HwPingerIApp(sm_codec=codec)
         upstream.add_iapp(pinger)
-        relay.connect_upstream(upstream_listener.address)
-        if not pinger.subscribed.wait(5.0):
-            raise TimeoutError("two-hop subscription did not complete")
+        relay.connect_upstream_async(upstream_listener.address)
+        while not pinger.subscribed.is_set():
+            transport.step(0.05)
+            if time.time() > deadline:
+                raise TimeoutError("two-hop subscription did not complete")
 
+        pump = lambda: transport.step(0.05)
         data = b"p" * payload
-        for _ in range(3):
-            pinger.ping(data)
+        for _ in range(10):  # warm-up: sockets, codec caches, allocator
+            pinger.ping(data, pump=pump)
         pinger.rtts_us.clear()
         for _ in range(pings):
-            pinger.ping(data)
+            pinger.ping(data, pump=pump)
         return TwoHopRtt(
             label=f"FlexRIC {codec}/{codec}", payload=payload, summary=summarize(pinger.rtts_us)
         )

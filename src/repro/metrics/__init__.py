@@ -8,19 +8,26 @@ This package provides the probes that replace the paper's testbed tools
 * :mod:`repro.metrics.cpu` — process-time based CPU accounting.
 * :mod:`repro.metrics.memory` — byte-level accounting of component state.
 * :mod:`repro.metrics.stats` — percentiles, CDFs and summary statistics.
+* :mod:`repro.metrics.counters` — named monotonic counters (cache
+  hit/miss rates and similar hot-path diagnostics).
 """
 
+from repro.metrics.counters import Counter, counter_values, get_counter, reset_counters
 from repro.metrics.cpu import CpuMeter, CpuSample
 from repro.metrics.memory import MemoryMeter, deep_sizeof
 from repro.metrics.stats import Summary, cdf, percentile, summarize
 
 __all__ = [
+    "Counter",
     "CpuMeter",
     "CpuSample",
     "MemoryMeter",
-    "deep_sizeof",
     "Summary",
     "cdf",
+    "counter_values",
+    "deep_sizeof",
+    "get_counter",
     "percentile",
+    "reset_counters",
     "summarize",
 ]

@@ -1,0 +1,59 @@
+"""Named monotonic counters for cache and hot-path instrumentation.
+
+Counters are process-global and intentionally unsynchronized: a lost
+increment under racing threads skews a diagnostic number, never
+correctness, and keeping ``incr`` to one integer add keeps the probes
+cheap enough to live on the codec hot path.
+
+Example:
+    >>> hits = get_counter("demo.hits")
+    >>> hits.incr()
+    >>> counter_values()["demo.hits"]
+    1
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Counter:
+    """One named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def incr(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+_COUNTERS: Dict[str, Counter] = {}
+
+
+def get_counter(name: str) -> Counter:
+    """Fetch (creating on first use) the counter with ``name``."""
+    counter = _COUNTERS.get(name)
+    if counter is None:
+        counter = _COUNTERS[name] = Counter(name)
+    return counter
+
+
+def counter_values() -> Dict[str, int]:
+    """Snapshot of every registered counter, keyed by name."""
+    return {name: counter.value for name, counter in _COUNTERS.items()}
+
+
+def reset_counters(prefix: str = "") -> None:
+    """Zero all counters whose name starts with ``prefix``."""
+    for name, counter in _COUNTERS.items():
+        if name.startswith(prefix):
+            counter.reset()

@@ -20,9 +20,7 @@ from __future__ import annotations
 
 import os
 import time
-from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
 
 
 @dataclass(frozen=True)
@@ -71,15 +69,15 @@ class CpuMeter:
         self.busy_s = 0.0
         self._section_count = 0
 
-    @contextmanager
-    def measure(self) -> Iterator[None]:
-        """Charge the wall-clock duration of the block to this meter."""
-        start = time.perf_counter_ns()
-        try:
-            yield
-        finally:
-            self.busy_s += (time.perf_counter_ns() - start) / 1e9
-            self._section_count += 1
+    def measure(self) -> "_MeasuredSection":
+        """Charge the wall-clock duration of the block to this meter.
+
+        Returns a lightweight context manager rather than a
+        ``contextlib`` generator: metering wraps every message on the
+        hot path, so its fixed cost must stay far below the work it
+        measures.
+        """
+        return _MeasuredSection(self)
 
     def charge(self, seconds: float) -> None:
         """Add a modelled CPU cost (discrete-event simulations)."""
@@ -104,6 +102,23 @@ class CpuMeter:
 
     def __repr__(self) -> str:
         return f"CpuMeter(name={self.name!r}, busy_s={self.busy_s:.6f}, cores={self.cores})"
+
+
+class _MeasuredSection:
+    """Minimal-overhead timing context for :meth:`CpuMeter.measure`."""
+
+    __slots__ = ("_meter", "_start")
+
+    def __init__(self, meter: CpuMeter) -> None:
+        self._meter = meter
+
+    def __enter__(self) -> None:
+        self._start = time.perf_counter_ns()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        meter = self._meter
+        meter.busy_s += (time.perf_counter_ns() - self._start) / 1e9
+        meter._section_count += 1
 
 
 class ProcessCpuProbe:

@@ -170,8 +170,15 @@ class PeriodicReportFunction(RanFunction):
         visible = self.visibility(handle.origin)
         payload_tree = self.provider(visible)
         payload = encode_payload(payload_tree, self.sm_codec)
-        for action_id in self._report_actions.get(handle.key(), ()):
-            self.emit(handle, action_id, header=b"", payload=payload)
+        # One coalesced transport write per tick, however many report
+        # actions the subscription admitted.
+        self.emit_many(
+            handle,
+            [
+                (action_id, b"", payload)
+                for action_id in self._report_actions.get(handle.key(), ())
+            ],
+        )
 
     def pump(self) -> int:
         """Emit one report for every active subscription.

@@ -44,11 +44,20 @@ class TestFig7:
         assert results[("fb/fb", 1500)] < results[("asn/asn", 1500)]
 
     def test_asn_gap_grows_with_payload(self):
-        small_asn = fig7.run_flexric_rtt("asn", "asn", 100, pings=15).summary.p50
-        small_fb = fig7.run_flexric_rtt("fb", "fb", 100, pings=15).summary.p50
-        large_asn = fig7.run_flexric_rtt("asn", "asn", 1500, pings=15).summary.p50
-        large_fb = fig7.run_flexric_rtt("fb", "fb", 1500, pings=15).summary.p50
-        assert large_asn / large_fb > small_asn / small_fb
+        # The qualitative claim (the ASN.1 RTT penalty grows with
+        # payload, §5.2) rides on a margin of tens of microseconds.
+        # Scheduler noise is additive, so the *minimum* p50 across
+        # interleaved repetitions is the robust estimator of each
+        # configuration's clean RTT.
+        p50s = {key: [] for key in ("sa", "sf", "la", "lf")}
+        for _ in range(3):
+            p50s["sa"].append(fig7.run_flexric_rtt("asn", "asn", 100, pings=30).summary.p50)
+            p50s["sf"].append(fig7.run_flexric_rtt("fb", "fb", 100, pings=30).summary.p50)
+            p50s["la"].append(fig7.run_flexric_rtt("asn", "asn", 1500, pings=30).summary.p50)
+            p50s["lf"].append(fig7.run_flexric_rtt("fb", "fb", 1500, pings=30).summary.p50)
+        small_ratio = min(p50s["sa"]) / min(p50s["sf"])
+        large_ratio = min(p50s["la"]) / min(p50s["lf"])
+        assert large_ratio > small_ratio
 
     def test_signaling_shapes(self):
         rows = {
@@ -100,9 +109,18 @@ class TestTable2:
 
 class TestFig9:
     def test_oran_rtt_at_least_2x_flexric(self):
-        flexric = fig9.run_flexric_two_hop("fb", 1500, pings=15)
-        oran = fig9.run_oran_two_hop(1500, pings=15)
-        assert oran.summary.p50 > 2.0 * flexric.summary.p50
+        # Min across interleaved repetitions: additive scheduler noise
+        # inflates FlexRIC's sub-300us RTT proportionally more than
+        # O-RAN's wakeup-dominated one, compressing the ratio in any
+        # single run under sustained load.
+        flexric = min(
+            fig9.run_flexric_two_hop("fb", 1500, pings=15).summary.p50
+            for _ in range(2)
+        )
+        oran = min(
+            fig9.run_oran_two_hop(1500, pings=15).summary.p50 for _ in range(2)
+        )
+        assert oran > 2.0 * flexric
 
     def test_monitoring_cpu_and_memory(self):
         flexric, oran = fig9.run_fig9b(n_agents=4, reports=50)

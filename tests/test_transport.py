@@ -12,7 +12,11 @@ from repro.core.transport import (
     TransportEvents,
     frame_message,
 )
-from repro.core.transport.framing import MAX_MESSAGE_BYTES, FramingError
+from repro.core.transport.framing import (
+    MAX_MESSAGE_BYTES,
+    FramingError,
+    frame_messages,
+)
 
 
 class TestFraming:
@@ -53,6 +57,50 @@ class TestFraming:
     def test_oversize_send_rejected(self):
         with pytest.raises(FramingError):
             frame_message(b"\0" * (MAX_MESSAGE_BYTES + 1))
+
+    def test_frame_messages_matches_individual_frames(self):
+        payloads = [b"", b"x", b"yy" * 300]
+        assert frame_messages(payloads) == b"".join(frame_message(p) for p in payloads)
+
+    def test_frame_messages_oversize_rejected(self):
+        with pytest.raises(FramingError):
+            frame_messages([b"ok", b"\0" * (MAX_MESSAGE_BYTES + 1)])
+
+    def test_many_small_frames_one_chunk(self):
+        # Regression: the deframer used to shift the receive buffer
+        # once per extracted frame (O(n^2) over a chunk of n tiny
+        # frames); with the read cursor this must finish quickly.
+        count = 10_000
+        payloads = [b"m%d" % index for index in range(count)]
+        chunk = frame_messages(payloads)
+        framer = Framer()
+        start = time.perf_counter()
+        messages = framer.feed(chunk)
+        elapsed = time.perf_counter() - start
+        assert messages == payloads
+        assert framer.pending_bytes == 0
+        # Generous bound: the quadratic version took seconds here.
+        assert elapsed < 1.0
+
+    def test_pending_bytes_tracks_cursor(self):
+        framer = Framer()
+        frame = frame_message(b"abc")
+        tail = frame_message(b"defghi")[:5]  # incomplete second frame
+        assert framer.feed(frame + tail) == [b"abc"]
+        assert framer.pending_bytes == len(tail)
+        assert framer.feed(frame_message(b"defghi")[5:]) == [b"defghi"]
+        assert framer.pending_bytes == 0
+
+    def test_interleaved_large_and_small(self):
+        framer = Framer()
+        payloads = [b"a" * 100_000, b"b", b"c" * 70_000, b"", b"d" * 3]
+        wire = frame_messages(payloads)
+        out = []
+        step = 8192
+        for index in range(0, len(wire), step):
+            out.extend(framer.feed(wire[index:index + step]))
+        assert out == payloads
+        assert framer.pending_bytes == 0
 
 
 class TestInProc:
@@ -140,6 +188,27 @@ class TestInProc:
             conn.send(str(index).encode())
         assert got == [str(i).encode() for i in range(100)]
 
+    def test_send_many_preserves_boundaries_and_order(self):
+        transport = InProcTransport()
+        got = []
+        transport.listen("a", TransportEvents(on_message=lambda e, d: got.append(d)))
+        conn = transport.connect("a", TransportEvents())
+        conn.send(b"first")
+        conn.send_many([b"x", b"yy", b"zzz"])
+        conn.send(b"last")
+        assert got == [b"first", b"x", b"yy", b"zzz", b"last"]
+        assert conn.messages_sent == 5
+        assert conn.bytes_sent == len(b"firstxyyzzzlast")
+
+    def test_send_many_empty_batch_is_noop(self):
+        transport = InProcTransport()
+        got = []
+        transport.listen("a", TransportEvents(on_message=lambda e, d: got.append(d)))
+        conn = transport.connect("a", TransportEvents())
+        conn.send_many([])
+        assert got == []
+        assert conn.messages_sent == 0
+
 
 class TestTcp:
     def _pair(self, transport, server_events=None):
@@ -222,6 +291,28 @@ class TestTcp:
         transport = TcpTransport()
         with pytest.raises(ValueError):
             transport.connect("localhost", TransportEvents())
+
+    def test_send_many_over_socket(self):
+        transport = TcpTransport()
+        transport.start()
+        try:
+            got = []
+            done = threading.Event()
+
+            def on_message(endpoint, data):
+                got.append(data)
+                if len(got) == 200:
+                    done.set()
+
+            listener = transport.listen("127.0.0.1:0", TransportEvents(on_message=on_message))
+            conn = transport.connect(f"127.0.0.1:{listener.port}", TransportEvents())
+            batch = [b"msg-%d" % index for index in range(200)]
+            conn.send_many(batch)
+            assert done.wait(10.0)
+            assert got == batch
+            assert conn.messages_sent == 200
+        finally:
+            transport.stop()
 
     def test_concurrent_connections(self):
         transport = TcpTransport()
