@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.core.e2ap.ies import RicActionDefinition, RicActionKind
+from repro.core.server import events as topics
 from repro.core.server.iapp import IApp
 from repro.core.server.randb import AgentRecord
 from repro.core.server.submgr import SubscriptionCallbacks
@@ -93,10 +94,15 @@ class StatsMonitorIApp(IApp):
         self.store = store or StatsStore()
         self.indications_received = 0
         self.subscriptions_confirmed = 0
+        self.subscription_failures = 0
+        self.nodes_stale = 0
+        self.nodes_recovered = 0
         self._oid_by_request: Dict[Tuple[int, int], Tuple[int, str]] = {}
 
     def on_attached(self) -> None:
         self.server.memory.track("stats-store", lambda: self.store)
+        self.server.events.subscribe(topics.NODE_STALE, self._node_stale)
+        self.server.events.subscribe(topics.NODE_RECOVERED, self._node_recovered)
 
     def on_agent_connected(self, agent: AgentRecord) -> None:
         for oid in self.oids:
@@ -115,10 +121,33 @@ class StatsMonitorIApp(IApp):
                     on_indication=self._store_indication,
                 ),
             )
-            self._oid_by_request[record.request.as_tuple()] = (agent.conn_id, oid)
+            key = record.request.as_tuple()
+            self._oid_by_request[key] = (agent.conn_id, oid)
+            # Terminal failure (grace window expired, or the node
+            # rejected the request): release the routing entry.
+            record.callbacks.on_failure = (
+                lambda failure, key=key: self._sub_failed(key)
+            )
 
     def _confirmed(self) -> None:
         self.subscriptions_confirmed += 1
+
+    def _sub_failed(self, key: Tuple[int, int]) -> None:
+        self.subscription_failures += 1
+        self._oid_by_request.pop(key, None)
+
+    def _node_stale(self, agent: AgentRecord) -> None:
+        self.nodes_stale += 1
+
+    def _node_recovered(self, agent: AgentRecord) -> None:
+        """Resynced node: the subscriptions kept their request ids but
+        moved to a fresh connection — re-key the store routing so new
+        indications land under the revived connection id."""
+        self.nodes_recovered += 1
+        for key, (conn_id, oid) in list(self._oid_by_request.items()):
+            record = self.server.submgr.lookup(*key)
+            if record is not None and record.conn_id != conn_id:
+                self._oid_by_request[key] = (record.conn_id, oid)
 
     def _store_indication(self, event) -> None:
         self.indications_received += 1

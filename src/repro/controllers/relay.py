@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.agent.agent import Agent, AgentConfig
 from repro.core.agent.ran_function import ControlOutcome, RanFunction, SubscriptionHandle
+from repro.core.agent.reconnect import ReconnectPolicy
 from repro.core.e2ap.ies import (
     GlobalE2NodeId,
     NodeKind,
@@ -96,9 +97,21 @@ class RelayController:
         forward: List[Tuple[str, str, int]],
         e2ap_codec: str = "fb",
         node_id: Optional[GlobalE2NodeId] = None,
+        stale_grace_s: float = 0.0,
+        reconnect: Optional[ReconnectPolicy] = None,
     ) -> None:
-        """``forward`` lists (oid, name, function_id) triples to proxy."""
-        self.server = Server(ServerConfig(ric_id=80, e2ap_codec=e2ap_codec))
+        """``forward`` lists (oid, name, function_id) triples to proxy.
+
+        ``stale_grace_s`` keeps southbound nodes (and their relayed
+        subscriptions) parked across short outages; ``reconnect`` arms
+        the northbound agent leg with automatic backoff re-attachment,
+        so a mid-chain controller heals both of its hops.
+        """
+        self.server = Server(
+            ServerConfig(
+                ric_id=80, e2ap_codec=e2ap_codec, stale_grace_s=stale_grace_s
+            )
+        )
         self.server.listen(transport, listen_address)
         self.agent = Agent(
             AgentConfig(
@@ -107,6 +120,8 @@ class RelayController:
             ),
             transport=transport,
         )
+        if reconnect is not None:
+            self.agent.enable_reconnect(reconnect)
         self.functions: Dict[str, ForwardingFunction] = {}
         for oid, name, function_id in forward:
             function = ForwardingFunction(self, oid, name, function_id)

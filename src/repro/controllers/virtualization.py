@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.agent.agent import Agent, AgentConfig
 from repro.core.agent.ran_function import ControlOutcome, RanFunction, SubscriptionHandle
+from repro.core.agent.reconnect import ReconnectPolicy
 from repro.core.e2ap.ies import (
     GlobalE2NodeId,
     NodeKind,
@@ -245,6 +246,8 @@ class VirtualizationController:
         sm_codec: str = "fb",
         stats_period_ms: float = 100.0,
         node_id: Optional[GlobalE2NodeId] = None,
+        stale_grace_s: float = 0.0,
+        reconnect: Optional[ReconnectPolicy] = None,
     ) -> None:
         total = sum(tenant.share for tenant in tenants)
         if total > 1.0 + 1e-9:
@@ -252,7 +255,14 @@ class VirtualizationController:
         self.sm_codec = sm_codec
         self.stats_period_ms = stats_period_ms
         self.transport = transport
-        self.server = Server(ServerConfig(ric_id=90, e2ap_codec=e2ap_codec))
+        # ``stale_grace_s`` lets a flapping base station keep its NVS
+        # slice state and tenant subscriptions across short outages
+        # instead of re-bootstrapping the whole virtualization layer.
+        self.server = Server(
+            ServerConfig(
+                ric_id=90, e2ap_codec=e2ap_codec, stale_grace_s=stale_grace_s
+            )
+        )
         self.server.listen(transport, listen_address)
         self._tenants: Dict[str, _TenantState] = {
             tenant.name: _TenantState(config=tenant, index=index)
@@ -266,6 +276,11 @@ class VirtualizationController:
             ),
             transport=transport,
         )
+        if reconnect is not None:
+            # Northbound legs to tenant controllers self-heal: the
+            # agent journal replays each tenant's virtual subscriptions
+            # after re-attachment.
+            self.agent.enable_reconnect(reconnect)
         self.virt_mac = _VirtualMacStats(self, sm_codec)
         self.virt_rrc = _VirtualRrc(self, sm_codec)
         self.virt_sc = _VirtualSliceCtrl(self, sm_codec)

@@ -17,7 +17,8 @@ from repro.core.agent.ran_function import (
     RanFunction,
     SubscriptionHandle,
 )
-from repro.core.agent.multi_controller import ControllerRegistry, UeControllerMap
+from repro.core.agent.multi_controller import ControllerRegistry, LinkState, UeControllerMap
+from repro.core.agent.reconnect import ManualScheduler, ReconnectPolicy, timer_scheduler
 from repro.core.agent.agent import Agent, AgentConfig
 
 __all__ = [
@@ -26,7 +27,11 @@ __all__ = [
     "RanFunction",
     "SubscriptionHandle",
     "ControllerRegistry",
+    "LinkState",
+    "ManualScheduler",
+    "ReconnectPolicy",
     "UeControllerMap",
     "Agent",
     "AgentConfig",
+    "timer_scheduler",
 ]

@@ -18,11 +18,12 @@ separates agent overhead from base-station load.
 
 from __future__ import annotations
 
+import random
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.codec.base import Codec, get_codec
+from repro.core.codec.base import Codec, CodecError, get_codec
 from repro.core.e2ap.ies import GlobalE2NodeId, RanFunctionItem, RicRequestId
 from repro.core.e2ap.messages import (
     E2ConnectionUpdate,
@@ -49,10 +50,31 @@ from repro.core.e2ap.messages import (
     encode_message,
 )
 from repro.core.e2ap.procedures import Cause
-from repro.core.agent.multi_controller import ControllerRegistry, UeControllerMap
+from repro.core.agent.multi_controller import ControllerRegistry, LinkState, UeControllerMap
 from repro.core.agent.ran_function import IndicationSink, RanFunction, SubscriptionHandle
-from repro.core.transport.base import Endpoint, Transport, TransportEvents
+from repro.core.agent.reconnect import ReconnectPolicy, Scheduler, timer_scheduler
+from repro.core.e2ap.ies import RicActionDefinition
+from repro.core.transport.base import DisconnectReason, Endpoint, Transport, TransportEvents
+from repro.metrics.counters import get_counter, get_gauge
 from repro.metrics.cpu import CpuMeter
+
+
+@dataclass
+class _JournalEntry:
+    """One live subscription, as admitted by a RAN function.
+
+    The journal is what survives a link death: on reconnect the agent
+    re-admits each entry locally so RAN functions resume emitting
+    without waiting for the server's resync (and without any iApp
+    involvement) — the two mechanisms are idempotent against each
+    other because re-subscription replaces, never duplicates.
+    """
+
+    origin: int
+    ran_function_id: int
+    request: RicRequestId
+    event_trigger: bytes
+    actions: List[RicActionDefinition]
 
 
 @dataclass
@@ -89,6 +111,17 @@ class Agent(IndicationSink):
         self._setup_ok: Dict[int, bool] = {}
         #: called when a controller asks this agent to attach elsewhere.
         self.on_connection_update: Optional[Callable[[E2ConnectionUpdate], None]] = None
+        # -- lifecycle resilience (opt-in via enable_reconnect) -------
+        self._reconnect_policy: Optional[ReconnectPolicy] = None
+        self._scheduler: Scheduler = timer_scheduler
+        self._on_give_up: Optional[Callable[[int], None]] = None
+        self._reconnect_rng = random.Random(0)
+        #: journal of live subscriptions, keyed by handle key.
+        self._journal: Dict[Tuple, _JournalEntry] = {}
+        #: total successful reconnects across all links.
+        self.reconnects = 0
+        #: indications discarded while a link was down (reconnect mode).
+        self.indications_dropped = 0
 
     # -- RAN function registration ------------------------------------
 
@@ -107,17 +140,46 @@ class Agent(IndicationSink):
 
     # -- controller connections ---------------------------------------
 
+    def enable_reconnect(
+        self,
+        policy: Optional[ReconnectPolicy] = None,
+        scheduler: Optional[Scheduler] = None,
+        on_give_up: Optional[Callable[[int], None]] = None,
+    ) -> ReconnectPolicy:
+        """Opt links into the self-healing lifecycle.
+
+        With a policy installed, a network-side disconnect no longer
+        tears a link down: the agent walks the backoff ladder, re-runs
+        E2 setup on success, and replays the subscription journal so
+        RAN functions resume emitting.  ``scheduler`` injects the
+        timing source (defaults to daemon timers; tests pass a
+        :class:`~repro.core.agent.reconnect.ManualScheduler`);
+        ``on_give_up`` fires with the origin once a link is declared
+        DEAD.
+        """
+        self._reconnect_policy = policy or ReconnectPolicy()
+        if scheduler is not None:
+            self._scheduler = scheduler
+        self._on_give_up = on_give_up
+        self._reconnect_rng = random.Random(self._reconnect_policy.seed)
+        return self._reconnect_policy
+
     def connect(self, address: str) -> int:
         """Attach to a controller and run E2 setup.
 
         Returns the controller *origin* index.  Raises
-        ``ConnectionError`` if setup is refused or times out.
+        ``ConnectionError`` if setup is refused or times out — in
+        which case the partial link state (setup events, registry
+        entry, endpoint) is rolled back so a retried ``connect`` to
+        the same address starts clean.
         """
         origin = self.connect_async(address)
         done = self._setup_done[origin]
         if not done.wait(self.config.setup_timeout_s):
+            self._abort_link(origin)
             raise ConnectionError(f"E2 setup timed out towards {address}")
         if not self._setup_ok[origin]:
+            self._abort_link(origin)
             raise ConnectionError(f"E2 setup refused by {address}")
         return origin
 
@@ -133,25 +195,162 @@ class Agent(IndicationSink):
         origin = link.origin
         self._setup_done[origin] = threading.Event()
         self._setup_ok[origin] = False
+        self._set_link_state(origin, LinkState.CONNECTING)
+        try:
+            endpoint = self.transport.connect(address, self._link_events(origin))
+        except (ConnectionError, OSError):
+            self._abort_link(origin)
+            raise
+        # The endpoint may already be registered: over a synchronous
+        # transport the whole setup exchange ran inside ``connect``.
+        self._endpoints.setdefault(origin, endpoint)
+        return origin
 
-        events = TransportEvents(
+    def _link_events(self, origin: int) -> TransportEvents:
+        return TransportEvents(
             on_connected=lambda endpoint: self._send_setup(origin, endpoint),
             on_message=lambda endpoint, data: self._handle(origin, endpoint, data),
-            on_disconnected=lambda endpoint: self._disconnected(origin),
+            on_disconnected=lambda endpoint, reason=None: self._disconnected(origin, reason),
         )
-        endpoint = self.transport.connect(address, events)
-        self._endpoints[origin] = endpoint
-        return origin
+
+    def _abort_link(self, origin: int) -> None:
+        """Roll back a half-open link (setup timeout or refusal)."""
+        self._setup_done.pop(origin, None)
+        self._setup_ok.pop(origin, None)
+        endpoint = self._endpoints.pop(origin, None)
+        if endpoint is not None and not endpoint.closed:
+            endpoint.close()
+        self.controllers.remove(origin)
+        self._set_state_gauge(origin, LinkState.DEAD)
 
     def disconnect(self, origin: int) -> None:
         endpoint = self._endpoints.pop(origin, None)
         if endpoint is not None and not endpoint.closed:
             endpoint.close()
         self.controllers.remove(origin)
+        self._set_state_gauge(origin, LinkState.DEAD)
 
-    def _disconnected(self, origin: int) -> None:
+    def _disconnected(self, origin: int, reason: Optional[DisconnectReason] = None) -> None:
         self._endpoints.pop(origin, None)
-        self.controllers.remove(origin)
+        link = self.controllers.get(origin)
+        if link is None:
+            return  # torn down locally already
+        local = reason is not None and reason.code == DisconnectReason.LOCAL
+        if self._reconnect_policy is None or local:
+            self.controllers.remove(origin)
+            self._set_state_gauge(origin, LinkState.DEAD)
+            return
+        # Network-side death with a policy installed: degrade and walk
+        # the backoff ladder instead of giving the link up.
+        link.connected = False
+        link.reconnect_attempts = 0
+        self._set_link_state(origin, LinkState.DEGRADED)
+        self._schedule_reconnect(origin, attempt=1)
+
+    # -- reconnect state machine --------------------------------------
+
+    def _schedule_reconnect(self, origin: int, attempt: int) -> None:
+        policy = self._reconnect_policy
+        link = self.controllers.get(origin)
+        if policy is None or link is None or link.state == LinkState.DEAD:
+            return
+        if policy.exhausted(attempt):
+            self.controllers.remove(origin)
+            self._set_state_gauge(origin, LinkState.DEAD)
+            get_counter("agent.reconnect.giveup").incr()
+            if self._on_give_up is not None:
+                self._on_give_up(origin)
+            return
+        delay = policy.delay_for(attempt, self._reconnect_rng)
+        self._scheduler(delay, lambda: self._try_reconnect(origin, attempt))
+
+    def _try_reconnect(self, origin: int, attempt: int) -> None:
+        link = self.controllers.get(origin)
+        if link is None or link.state in (LinkState.DEAD, LinkState.READY):
+            return
+        link.reconnect_attempts = attempt
+        self._set_link_state(origin, LinkState.RECONNECTING)
+        get_counter("agent.reconnect.attempt").incr()
+        # Drop any half-open endpoint from a previous attempt.
+        stale = self._endpoints.pop(origin, None)
+        if stale is not None and not stale.closed:
+            stale.close()
+        self._setup_done[origin] = threading.Event()
+        self._setup_ok[origin] = False
+        try:
+            endpoint = self.transport.connect(link.address, self._link_events(origin))
+        except (ConnectionError, OSError):
+            self._schedule_reconnect(origin, attempt + 1)
+            return
+        self._endpoints.setdefault(origin, endpoint)
+        if link.state != LinkState.READY:
+            self._set_link_state(origin, LinkState.CONNECTING)
+            # Setup answer pending: give it one timeout, then retry the
+            # whole attempt (covers the request or response being lost).
+            self._scheduler(
+                self.config.setup_timeout_s,
+                lambda: self._check_setup(origin, attempt, endpoint),
+            )
+
+    def _check_setup(self, origin: int, attempt: int, endpoint: Endpoint) -> None:
+        link = self.controllers.get(origin)
+        if link is None or link.state in (LinkState.DEAD, LinkState.READY):
+            return
+        if self._endpoints.get(origin) is not endpoint:
+            return  # a newer attempt took over
+        self._endpoints.pop(origin, None)
+        if not endpoint.closed:
+            endpoint.close()
+        self._set_link_state(origin, LinkState.DEGRADED)
+        self._schedule_reconnect(origin, attempt + 1)
+
+    def _link_ready(self, origin: int) -> None:
+        """Setup accepted; mark READY and resume live subscriptions."""
+        link = self.controllers.get(origin)
+        was_reconnect = link is not None and not link.connected
+        if link is not None:
+            link.connected = True
+            if was_reconnect:
+                link.reconnects += 1
+                link.reconnect_attempts = 0
+        self._set_link_state(origin, LinkState.READY)
+        if was_reconnect:
+            self.reconnects += 1
+            get_counter("agent.reconnect.success").incr()
+            self._replay_journal(origin)
+
+    def _replay_journal(self, origin: int) -> None:
+        """Re-admit every journaled subscription of ``origin``.
+
+        Runs straight against the RAN functions (no wire round-trip),
+        so indications resume even before the server's resync request
+        arrives; both paths re-admit the same handle key, which RAN
+        functions treat as replacement, keeping replay idempotent.
+        """
+        for entry in list(self._journal.values()):
+            if entry.origin != origin:
+                continue
+            function = self._functions.get(entry.ran_function_id)
+            if function is None:
+                continue
+            handle = SubscriptionHandle(
+                origin=origin,
+                request=entry.request,
+                ran_function_id=entry.ran_function_id,
+            )
+            function.on_subscription(handle, entry.event_trigger, list(entry.actions))
+            get_counter("agent.journal.replayed").incr()
+
+    def _set_link_state(self, origin: int, state: LinkState) -> None:
+        link = self.controllers.get(origin)
+        if link is not None:
+            link.state = state
+        self._set_state_gauge(origin, state)
+
+    def _set_state_gauge(self, origin: int, state: LinkState) -> None:
+        get_gauge(
+            f"agent.{self.config.node_id.label}.link.{origin}.state"
+        ).set(int(state))
 
     def _send_setup(self, origin: int, endpoint: Endpoint) -> None:
         items = [
@@ -198,17 +397,55 @@ class Agent(IndicationSink):
     # -- IndicationSink -------------------------------------------------
 
     def send_indication(self, origin: int, indication: RicIndication) -> None:
-        self._send(origin, indication)
+        endpoint = self._indication_endpoint(origin, pending=1)
+        if endpoint is None:
+            return
+        with self.cpu.measure():
+            data = encode_message(indication, self.codec)
+        try:
+            endpoint.send(data)
+        except (ConnectionError, OSError):
+            self._count_dropped(1)
 
     def send_indications(self, origin: int, indications: Sequence[RicIndication]) -> None:
         if not indications:
             return
-        endpoint = self._endpoints.get(origin)
-        if endpoint is None or endpoint.closed:
-            raise ConnectionError(f"no live connection for origin {origin}")
+        endpoint = self._indication_endpoint(origin, pending=len(indications))
+        if endpoint is None:
+            return
         with self.cpu.measure():
             batch = [encode_message(message, self.codec) for message in indications]
-        endpoint.send_many(batch)
+        try:
+            endpoint.send_many(batch)
+        except (ConnectionError, OSError):
+            self._count_dropped(len(batch))
+
+    def _indication_endpoint(self, origin: int, pending: int) -> Optional[Endpoint]:
+        """Endpoint for the indication plane, honouring link state.
+
+        Indications are periodic and tolerant to loss; while a link is
+        degraded/reconnecting they are *discarded* (and counted)
+        rather than raised on — the RAN function keeps producing and
+        the stream resumes seamlessly once the link is READY.  Without
+        a reconnect policy the legacy contract holds: dead link raises.
+        """
+        endpoint = self._endpoints.get(origin)
+        link = self.controllers.get(origin)
+        usable = (
+            endpoint is not None
+            and not endpoint.closed
+            and (link is None or link.state == LinkState.READY)
+        )
+        if usable:
+            return endpoint
+        if self._reconnect_policy is not None:
+            self._count_dropped(pending)
+            return None
+        raise ConnectionError(f"no live connection for origin {origin}")
+
+    def _count_dropped(self, count: int) -> None:
+        self.indications_dropped += count
+        get_counter("agent.indications.dropped").incr(count)
 
     def _send(self, origin: int, message: E2Message) -> None:
         endpoint = self._endpoints.get(origin)
@@ -221,20 +458,50 @@ class Agent(IndicationSink):
     # -- message handling ----------------------------------------------
 
     def _handle(self, origin: int, endpoint: Endpoint, data: bytes) -> None:
+        # Re-register the delivering endpoint: over a synchronous
+        # transport the setup reply arrives before ``transport.connect``
+        # returns, i.e. before connect_async stored the endpoint.
+        current = self._endpoints.get(origin)
+        if current is None or current.closed or current is endpoint:
+            self._endpoints[origin] = endpoint
         with self.cpu.measure():
-            message = decode_message(data, self.codec)
+            try:
+                message = decode_message(data, self.codec)
+            except CodecError as exc:
+                # A corrupted frame must never take the link's dispatch
+                # context down; count it and tell the controller.
+                get_counter("agent.rx.decode_error").incr()
+                self._safe_reply(
+                    endpoint,
+                    ErrorIndication(
+                        cause=Cause.protocol(Cause.UNSPECIFIED, f"undecodable: {exc}")
+                    ),
+                )
+                return
             reply = self._dispatch(origin, message)
             if reply is not None:
-                endpoint.send(encode_message(reply, self.codec))
+                self._safe_reply(endpoint, reply)
+
+    def _safe_reply(self, endpoint: Endpoint, reply: E2Message) -> None:
+        try:
+            endpoint.send(encode_message(reply, self.codec))
+        except (ConnectionError, OSError):
+            # Link died under the reply; the disconnect path handles it.
+            get_counter("agent.tx.reply_failed").incr()
 
     def _dispatch(self, origin: int, message: E2Message) -> Optional[E2Message]:
         if isinstance(message, E2SetupResponse):
             self._setup_ok[origin] = True
-            self._setup_done[origin].set()
+            done = self._setup_done.get(origin)
+            if done is not None:
+                done.set()
+            self._link_ready(origin)
             return None
         if isinstance(message, E2SetupFailure):
             self._setup_ok[origin] = False
-            self._setup_done[origin].set()
+            done = self._setup_done.get(origin)
+            if done is not None:
+                done.set()
             return None
         if isinstance(message, RicSubscriptionRequest):
             return self._handle_subscription(origin, message)
@@ -249,6 +516,18 @@ class Agent(IndicationSink):
         if isinstance(message, ResetRequest):
             self._reset()
             return ResetResponse()
+        from repro.core.e2ap.messages import (
+            E2NodeConfigurationUpdateAcknowledge,
+            RicServiceUpdateAcknowledge,
+        )
+
+        if isinstance(
+            message, (RicServiceUpdateAcknowledge, E2NodeConfigurationUpdateAcknowledge)
+        ):
+            # Pure acknowledgements (e.g. of keepalive-triggered service
+            # updates) end the transaction; answering them with an error
+            # would ping-pong forever.
+            return None
         return ErrorIndication(
             cause=Cause.protocol(Cause.UNSPECIFIED, f"unhandled {type(message).__name__}")
         )
@@ -267,6 +546,14 @@ class Agent(IndicationSink):
         admitted, not_admitted = function.on_subscription(
             handle, message.event_trigger, message.actions
         )
+        if admitted:
+            self._journal[handle.key()] = _JournalEntry(
+                origin=origin,
+                ran_function_id=message.ran_function_id,
+                request=message.request,
+                event_trigger=bytes(message.event_trigger),
+                actions=list(message.actions),
+            )
         return RicSubscriptionResponse(
             request=message.request,
             ran_function_id=message.ran_function_id,
@@ -289,6 +576,7 @@ class Agent(IndicationSink):
                 ran_function_id=message.ran_function_id,
                 cause=Cause.ric_request(Cause.REQUEST_ID_UNKNOWN),
             )
+        self._journal.pop(handle.key(), None)
         return RicSubscriptionDeleteResponse(
             request=message.request, ran_function_id=message.ran_function_id
         )
@@ -351,6 +639,7 @@ class Agent(IndicationSink):
         for function in self._functions.values():
             for key in list(function.subscriptions):
                 function.on_subscription_delete(function.subscriptions[key])
+        self._journal.clear()
 
 
 def RicSubscriptionFailureFactory(message: RicSubscriptionRequest, detail: str):

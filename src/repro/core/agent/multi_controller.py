@@ -15,8 +15,27 @@ Two pieces:
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
+
+
+class LinkState(enum.IntEnum):
+    """Lifecycle of one agent↔controller link.
+
+    ``CONNECTING → READY`` is the happy path (E2 setup in flight, then
+    accepted).  On a network death the link degrades instead of dying:
+    ``READY → DEGRADED`` (disconnect observed, backoff pending) →
+    ``RECONNECTING`` (attempt in flight) → back to ``CONNECTING`` once
+    a transport connection exists.  ``DEAD`` is terminal: local
+    teardown, setup refusal, or the reconnect policy giving up.
+    """
+
+    CONNECTING = 1
+    READY = 2
+    DEGRADED = 3
+    RECONNECTING = 4
+    DEAD = 5
 
 
 @dataclass
@@ -26,6 +45,15 @@ class ControllerLink:
     origin: int
     address: str
     connected: bool = True
+    state: LinkState = LinkState.CONNECTING
+    #: reconnect attempts since the link last left READY.
+    reconnect_attempts: int = 0
+    #: successful reconnects over the link's lifetime.
+    reconnects: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (LinkState.CONNECTING, LinkState.READY)
 
 
 class ControllerRegistry:
@@ -51,6 +79,7 @@ class ControllerRegistry:
         link = self._links.pop(origin, None)
         if link is not None:
             link.connected = False
+            link.state = LinkState.DEAD
 
     def get(self, origin: int) -> Optional[ControllerLink]:
         return self._links.get(origin)

@@ -1,0 +1,109 @@
+"""Reconnect policy and schedulers for the agent's E2 links.
+
+Real testbeds lose SCTP associations constantly; the paper's agent
+(§4.1) is expected to ride through.  The policy here is the classic
+exponential-backoff-with-jitter ladder, made deterministic (seeded
+jitter) so chaos tests can replay a churn schedule bit-identically.
+
+Scheduling is injected: production uses :func:`timer_scheduler`
+(daemon ``threading.Timer``), deterministic tests use
+:class:`ManualScheduler` and fire due work explicitly, keeping the
+whole reconnect state machine single-threaded under the in-process
+transport.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+#: A scheduler takes (delay_seconds, thunk) and arranges for the thunk
+#: to run later.  It must never run the thunk synchronously from
+#: inside the call — re-entrancy into the agent is the caller's job to
+#: avoid.
+Scheduler = Callable[[float, Callable[[], None]], None]
+
+
+@dataclass
+class ReconnectPolicy:
+    """Exponential backoff with jitter, capped attempts, give-up hook.
+
+    ``max_attempts`` counts attempts since the link last left READY; 0
+    means retry forever.  ``jitter`` spreads each delay uniformly in
+    ``[delay * (1 - jitter), delay * (1 + jitter)]`` so a controller
+    restart does not see every agent of a site reconnect in lockstep.
+    """
+
+    base_delay_s: float = 0.5
+    max_delay_s: float = 30.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    max_attempts: int = 8
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter out of [0,1): {self.jitter}")
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff delay before ``attempt`` (1-based)."""
+        delay = min(
+            self.base_delay_s * (self.multiplier ** max(0, attempt - 1)),
+            self.max_delay_s,
+        )
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+    def exhausted(self, attempt: int) -> bool:
+        return self.max_attempts > 0 and attempt > self.max_attempts
+
+
+def timer_scheduler(delay_s: float, thunk: Callable[[], None]) -> None:
+    """Default production scheduler: one daemon timer per deadline."""
+    timer = threading.Timer(delay_s, thunk)
+    timer.daemon = True
+    timer.start()
+
+
+class ManualScheduler:
+    """Deterministic scheduler for tests and simulations.
+
+    Work is queued with a virtual due time; :meth:`advance` moves the
+    virtual clock and runs everything that came due, in order.  Used
+    by the chaos suite to interleave reconnect attempts with fault
+    injection without threads or real sleeps.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._due: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def __call__(self, delay_s: float, thunk: Callable[[], None]) -> None:
+        self._due.append((self.now + delay_s, self._seq, thunk))
+        self._seq += 1
+
+    def advance(self, dt: float = 0.0) -> int:
+        """Move time forward and fire everything due; returns count."""
+        self.now += dt
+        fired = 0
+        while True:
+            ready = [item for item in self._due if item[0] <= self.now]
+            if not ready:
+                return fired
+            ready.sort(key=lambda item: (item[0], item[1]))
+            for item in ready:
+                self._due.remove(item)
+                item[2]()
+                fired += 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._due)

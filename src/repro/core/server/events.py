@@ -30,6 +30,16 @@ NODE_CONFIG_UPDATED = "node_config_updated"
 #: Topic published when an agent raises an E2AP error indication
 #: (payload: (AgentRecord | None, ErrorIndication)).
 ERROR_INDICATED = "error_indicated"
+#: Topic published when an agent's link drops but the node enters the
+#: stale grace window instead of being purged (payload: AgentRecord).
+NODE_STALE = "node_stale"
+#: Topic published when a stale node re-attaches within its grace
+#: window and its subscriptions were resynced (payload: AgentRecord —
+#: the refreshed record with the new connection id).
+NODE_RECOVERED = "node_recovered"
+#: Topic published when a stale node's grace window expires and it is
+#: garbage-collected (payload: AgentRecord).
+NODE_EXPIRED = "node_expired"
 
 
 class EventBus:

@@ -23,6 +23,11 @@ class AgentRecord:
     functions: Dict[int, RanFunctionItem] = field(default_factory=dict)
     #: node-level configuration reported via E2 node config updates.
     config: Dict[str, str] = field(default_factory=dict)
+    #: True while the agent's link is down but the node sits inside
+    #: its grace window awaiting re-attachment (lifecycle resilience).
+    stale: bool = False
+    #: monotonic timestamp of the disconnect that marked it stale.
+    stale_since: Optional[float] = None
 
     @property
     def kind(self) -> NodeKind:
@@ -144,13 +149,54 @@ class RanDatabase:
             record.functions.pop(function_id, None)
         return record
 
+    def mark_stale(self, conn_id: int, now: float) -> Optional[AgentRecord]:
+        """Flag an agent as stale (link down, grace window running).
+
+        The record stays in the database — its entity keeps the agent,
+        so a CU/DU pair does not flap through RAN_FORMED on every
+        reconnect — until :meth:`remove_agent` garbage-collects it.
+        """
+        record = self._agents.get(conn_id)
+        if record is not None:
+            record.stale = True
+            record.stale_since = now
+        return record
+
+    def revive(self, record: AgentRecord, new_conn_id: int) -> AgentRecord:
+        """Re-home a stale record onto a fresh connection id."""
+        self._agents.pop(record.conn_id, None)
+        record.conn_id = new_conn_id
+        record.stale = False
+        record.stale_since = None
+        self._agents[new_conn_id] = record
+        return record
+
     # -- queries -------------------------------------------------------
 
     def agent(self, conn_id: int) -> Optional[AgentRecord]:
         return self._agents.get(conn_id)
 
-    def agents(self) -> List[AgentRecord]:
-        return list(self._agents.values())
+    def agents(self, include_stale: bool = True) -> List[AgentRecord]:
+        if include_stale:
+            return list(self._agents.values())
+        return [record for record in self._agents.values() if not record.stale]
+
+    def stale_agents(self) -> List[AgentRecord]:
+        return [record for record in self._agents.values() if record.stale]
+
+    def find_node(self, node_id: GlobalE2NodeId) -> Optional[AgentRecord]:
+        """Locate the record carrying exactly this E2 node identity.
+
+        Used on E2 setup to detect a re-attachment (same node, new
+        connection) so the stale-recovery path can fire.
+        """
+        entity = self._entities.get((node_id.plmn, node_id.nb_id))
+        if entity is None:
+            return None
+        record = entity.agents.get(node_id.kind)
+        if record is not None and record.node_id == node_id:
+            return record
+        return None
 
     def entity(self, plmn: str, nb_id: int) -> Optional[RanEntity]:
         return self._entities.get((plmn, nb_id))

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.codec.base import Codec, get_codec
-from repro.core.e2ap.ies import RicActionDefinition, RicRequestId
+from repro.core.codec.base import Codec, CodecError, get_codec
+from repro.core.e2ap.ies import GlobalE2NodeId, RicActionDefinition, RicRequestId
 from repro.core.e2ap.messages import (
     E2Message,
     E2SetupRequest,
@@ -30,6 +31,7 @@ from repro.core.e2ap.messages import (
     RicControlRequest,
     RicIndication,
     RicIndicationKind,
+    RicServiceQuery,
     RicServiceUpdate,
     RicServiceUpdateAcknowledge,
     RicSubscriptionDeleteRequest,
@@ -40,7 +42,7 @@ from repro.core.e2ap.messages import (
     decode_message,
     encode_message,
 )
-from repro.core.e2ap.procedures import MessageClass, ProcedureCode
+from repro.core.e2ap.procedures import Cause, CauseKind, MessageClass, ProcedureCode
 from repro.core.server import events as topics
 from repro.core.server.events import EventBus
 from repro.core.server.iapp import IApp
@@ -50,7 +52,14 @@ from repro.core.server.submgr import (
     SubscriptionManager,
     SubscriptionRecord,
 )
-from repro.core.transport.base import Endpoint, Listener, Transport, TransportEvents
+from repro.core.transport.base import (
+    DisconnectReason,
+    Endpoint,
+    Listener,
+    Transport,
+    TransportEvents,
+)
+from repro.metrics.counters import get_counter
 from repro.metrics.cpu import CpuMeter
 from repro.metrics.memory import MemoryMeter
 
@@ -72,6 +81,16 @@ class ServerConfig:
     ric_id: int = 1
     e2ap_codec: str = "fb"
     indication_workers: int = 0
+    #: grace window (seconds) a disconnected node is kept *stale* in
+    #: the RANDB awaiting re-attachment.  0 (default) keeps the legacy
+    #: behaviour: disconnect purges the node and its subscriptions.
+    stale_grace_s: float = 0.0
+    #: idle interval after which a RIC service query keepalive is sent
+    #: (0 disables liveness probing).
+    keepalive_interval_s: float = 0.0
+    #: unanswered keepalives tolerated before the node is declared
+    #: silently dead and pushed down the stale path.
+    keepalive_misses: int = 3
 
 
 class IndicationEvent:
@@ -158,6 +177,19 @@ class _ConnState:
     conn_id: int
     endpoint: Endpoint
     record: Optional[AgentRecord] = None  # set after E2 setup
+    #: monotonic timestamp of the last message from this agent.
+    last_seen: float = 0.0
+    #: keepalive queries sent since ``last_seen`` moved.
+    pending_queries: int = 0
+
+
+@dataclass
+class _StaleNode:
+    """A disconnected node riding out its grace window."""
+
+    record: AgentRecord
+    subscriptions: List[SubscriptionRecord]
+    deadline: float
 
 
 class Server:
@@ -167,8 +199,12 @@ class Server:
         self,
         config: Optional[ServerConfig] = None,
         cpu_meter: Optional[CpuMeter] = None,
+        time_fn: Callable[[], float] = time.monotonic,
     ) -> None:
         self.config = config or ServerConfig()
+        #: injectable clock (tests drive grace/keepalive deadlines
+        #: with a fake time source; production uses ``time.monotonic``).
+        self.time_fn = time_fn
         self.codec: Codec = get_codec(self.config.e2ap_codec)
         self.cpu = cpu_meter or CpuMeter(f"server-{self.config.ric_id}")
         self.memory = MemoryMeter(f"server-{self.config.ric_id}")
@@ -185,6 +221,10 @@ class Server:
         self._control_instances = itertools.count(1)
         self._listeners: List[Listener] = []
         self._lock = threading.Lock()
+        #: stale nodes awaiting re-attachment, keyed by node identity.
+        self._stale: Dict[GlobalE2NodeId, _StaleNode] = {}
+        self._liveness_thread: Optional[threading.Thread] = None
+        self._liveness_running = False
         self._pool = None
         if self.config.indication_workers > 0:
             from concurrent.futures import ThreadPoolExecutor
@@ -220,6 +260,7 @@ class Server:
         return list(self._iapps)
 
     def close(self) -> None:
+        self.stop_liveness()
         for listener in self._listeners:
             listener.close()
         for state in list(self._conns.values()):
@@ -246,6 +287,7 @@ class Server:
             callbacks=callbacks,
             actions=actions,
             requestor_id=requestor_id,
+            event_trigger=event_trigger,
         )
         request = RicSubscriptionRequest(
             request=record.request,
@@ -340,32 +382,77 @@ class Server:
     # -- transport events ----------------------------------------------
 
     def _on_connected(self, endpoint: Endpoint) -> None:
-        state = _ConnState(conn_id=next(self._conn_ids), endpoint=endpoint)
+        state = _ConnState(
+            conn_id=next(self._conn_ids),
+            endpoint=endpoint,
+            last_seen=self.time_fn(),
+        )
         with self._lock:
             self._conns[state.conn_id] = state
             self._by_endpoint[id(endpoint)] = state
 
-    def _on_disconnected(self, endpoint: Endpoint) -> None:
+    def _on_disconnected(
+        self, endpoint: Endpoint, reason: Optional[DisconnectReason] = None
+    ) -> None:
         with self._lock:
             state = self._by_endpoint.pop(id(endpoint), None)
             if state is not None:
                 self._conns.pop(state.conn_id, None)
         if state is None or state.record is None:
             return
-        self.submgr.drop_conn(state.conn_id)
-        self.randb.remove_agent(state.conn_id)
-        self.events.publish(topics.AGENT_DISCONNECTED, state.record)
-        for iapp in self._iapps:
-            iapp.on_agent_disconnected(state.record)
+        self._node_lost(state.record, state.conn_id, reason)
+
+    def _node_lost(
+        self,
+        record: AgentRecord,
+        conn_id: int,
+        reason: Optional[DisconnectReason],
+    ) -> None:
+        """Common exit for transport-reported and keepalive-declared
+        deaths: purge immediately, or park in the grace window."""
+        if self.config.stale_grace_s <= 0:
+            # Legacy lifecycle: a disconnect is terminal.
+            self.submgr.drop_conn(conn_id)
+            self.randb.remove_agent(conn_id)
+            self.events.publish(topics.AGENT_DISCONNECTED, record)
+            for iapp in self._iapps:
+                iapp.on_agent_disconnected(record)
+            return
+        now = self.time_fn()
+        self.randb.mark_stale(conn_id, now)
+        parked = self.submgr.park_conn(conn_id)
+        stale = self._stale.get(record.node_id)
+        if stale is None:
+            self._stale[record.node_id] = _StaleNode(
+                record=record,
+                subscriptions=parked,
+                deadline=now + self.config.stale_grace_s,
+            )
+        else:
+            # Node died again inside its window (e.g. a recovery whose
+            # link flapped immediately); extend and merge.
+            stale.subscriptions = list({id(r): r for r in stale.subscriptions + parked}.values())
+            stale.deadline = now + self.config.stale_grace_s
+        get_counter("server.node.stale").incr()
+        self.events.publish(topics.NODE_STALE, record)
 
     def _on_message(self, endpoint: Endpoint, data: bytes) -> None:
         state = self._by_endpoint.get(id(endpoint))
         if state is None:
             return
+        # Any traffic proves the agent alive: reset the keepalive state.
+        state.last_seen = self.time_fn()
+        state.pending_queries = 0
         with self.cpu.measure():
-            tree = self.codec.decode(data)
-            procedure = tree["p"]
-            msg_class = tree["c"]
+            try:
+                tree = self.codec.decode(data)
+                procedure = tree["p"]
+                msg_class = tree["c"]
+            except (CodecError, KeyError, TypeError, ValueError):
+                # A corrupted frame (chaos transport, buggy peer) must
+                # not take the whole server transport thread down.
+                get_counter("server.rx.decode_error").incr()
+                return
             if procedure == int(ProcedureCode.RIC_INDICATION):
                 # Hot path: route on header scalars only.  Handling is
                 # stateless, so it may run on a worker thread (§4.4).
@@ -427,6 +514,32 @@ class Server:
         # Unknown procedures are ignored at the server (forward compat).
 
     def _handle_setup(self, state: _ConnState, request: E2SetupRequest) -> None:
+        existing = self.randb.find_node(request.node_id)
+        if existing is not None and not existing.stale:
+            # Same node identity on a new connection while the old one
+            # still looks alive: the old link is defunct (half-open
+            # socket the server has not noticed).  Supersede it through
+            # the normal loss path so subscriptions park when a grace
+            # window is configured.
+            with self._lock:
+                old = self._conns.pop(existing.conn_id, None)
+                if old is not None:
+                    self._by_endpoint.pop(id(old.endpoint), None)
+            if old is not None and not old.endpoint.closed:
+                try:
+                    old.endpoint.close()
+                except (ConnectionError, OSError):
+                    pass
+            self._node_lost(
+                existing,
+                existing.conn_id,
+                DisconnectReason(DisconnectReason.PROTOCOL, "superseded by re-attach"),
+            )
+            existing = self.randb.find_node(request.node_id)
+        stale = self._stale.get(request.node_id)
+        if existing is not None and existing.stale and stale is not None:
+            self._recover_node(state, existing, stale, request)
+            return
         record = AgentRecord(
             conn_id=state.conn_id,
             node_id=request.node_id,
@@ -446,6 +559,180 @@ class Server:
             self.events.publish(topics.RAN_FORMED, entity)
             for iapp in self._iapps:
                 iapp.on_ran_formed(entity)
+
+    def _recover_node(
+        self,
+        state: _ConnState,
+        record: AgentRecord,
+        stale: _StaleNode,
+        request: E2SetupRequest,
+    ) -> None:
+        """A stale node re-attached inside its grace window.
+
+        The old :class:`AgentRecord` is revived onto the fresh
+        connection (no RAN_FORMED flap, no iApp ``on_agent_connected``)
+        and every parked subscription is re-issued verbatim — same RIC
+        request id — so iApp callbacks resume without the iApp ever
+        learning about the outage.
+        """
+        self._stale.pop(record.node_id, None)
+        self.randb.revive(record, state.conn_id)
+        # The setup request is authoritative for the function table:
+        # the node may have rebooted with a different SM inventory.
+        record.functions = {
+            item.ran_function_id: item for item in request.ran_functions
+        }
+        state.record = record
+        response = E2SetupResponse(
+            ric_id=self.config.ric_id,
+            accepted_functions=sorted(record.functions),
+        )
+        state.endpoint.send(encode_message(response, self.codec))
+        parked = [rec for rec in stale.subscriptions if rec.parked]
+        self.submgr.adopt(parked, state.conn_id)
+        for rec in parked:
+            resync = RicSubscriptionRequest(
+                request=rec.request,
+                ran_function_id=rec.ran_function_id,
+                event_trigger=rec.event_trigger,
+                actions=list(rec.actions),
+            )
+            try:
+                state.endpoint.send(encode_message(resync, self.codec))
+            except (ConnectionError, OSError):
+                break
+        get_counter("server.node.recovered").incr()
+        self.events.publish(topics.NODE_RECOVERED, record)
+
+    # -- liveness (keepalive + grace expiry) ---------------------------
+
+    def keepalive_tick(self, now: Optional[float] = None) -> int:
+        """One liveness pass; returns the number of queries sent.
+
+        Agents idle past ``keepalive_interval_s`` get a
+        :class:`RicServiceQuery`; any reply (the service update, or any
+        other traffic) resets their miss count.  After
+        ``keepalive_misses`` unanswered probes the node is declared
+        silently dead and pushed down the stale path.  Also expires
+        stale nodes whose grace window ran out.
+        """
+        now = self.time_fn() if now is None else now
+        sent = 0
+        if self.config.keepalive_interval_s > 0:
+            for state in list(self._conns.values()):
+                if state.record is None:
+                    continue
+                if now - state.last_seen < self.config.keepalive_interval_s:
+                    continue
+                if state.pending_queries >= self.config.keepalive_misses:
+                    self._declare_dead(state)
+                    continue
+                # Count the probe *before* sending: over a synchronous
+                # transport the agent's reply (which zeroes the miss
+                # count) arrives inside the send call itself.
+                state.pending_queries += 1
+                try:
+                    state.endpoint.send(
+                        encode_message(
+                            RicServiceQuery(
+                                known_functions=sorted(state.record.functions)
+                            ),
+                            self.codec,
+                        )
+                    )
+                    sent += 1
+                    get_counter("server.keepalive.sent").incr()
+                except (ConnectionError, OSError):
+                    self._declare_dead(state)
+        self.expire_stale(now)
+        return sent
+
+    def _declare_dead(self, state: _ConnState) -> None:
+        """Keepalive verdict: the link looks up but the agent is gone."""
+        get_counter("server.keepalive.dead").incr()
+        with self._lock:
+            self._by_endpoint.pop(id(state.endpoint), None)
+            self._conns.pop(state.conn_id, None)
+        try:
+            if not state.endpoint.closed:
+                state.endpoint.close()
+        except (ConnectionError, OSError):
+            pass
+        if state.record is not None:
+            self._node_lost(
+                state.record,
+                state.conn_id,
+                DisconnectReason(DisconnectReason.KEEPALIVE, "missed keepalives"),
+            )
+
+    def expire_stale(self, now: Optional[float] = None) -> int:
+        """Garbage-collect stale nodes past their deadline.
+
+        Each parked subscription gets a terminal failure callback so
+        its iApp can release resources; the node finally leaves the
+        RANDB and ``AGENT_DISCONNECTED`` / ``on_agent_disconnected``
+        fire — the legacy teardown, merely delayed by the grace window.
+        """
+        now = self.time_fn() if now is None else now
+        expired = [
+            node_id
+            for node_id, stale in self._stale.items()
+            if now >= stale.deadline
+        ]
+        for node_id in expired:
+            stale = self._stale.pop(node_id)
+            record = stale.record
+            self.randb.remove_agent(record.conn_id)
+            for rec in stale.subscriptions:
+                if rec.parked:
+                    self.submgr.terminal_fail(
+                        rec,
+                        RicSubscriptionFailure(
+                            request=rec.request,
+                            ran_function_id=rec.ran_function_id,
+                            cause=Cause(
+                                kind=CauseKind.TRANSPORT,
+                                value=Cause.UNSPECIFIED,
+                                detail="node grace window expired",
+                            ),
+                        ),
+                    )
+            get_counter("server.node.expired").incr()
+            self.events.publish(topics.NODE_EXPIRED, record)
+            self.events.publish(topics.AGENT_DISCONNECTED, record)
+            for iapp in self._iapps:
+                iapp.on_agent_disconnected(record)
+        return len(expired)
+
+    def start_liveness(self, period_s: float = 1.0) -> None:
+        """Run :meth:`keepalive_tick` on a daemon thread every
+        ``period_s`` seconds (production convenience; tests drive the
+        tick directly with an injected clock)."""
+        if self._liveness_thread is not None:
+            return
+        self._liveness_running = True
+
+        def _loop() -> None:
+            while self._liveness_running:
+                time.sleep(period_s)
+                if not self._liveness_running:
+                    break
+                try:
+                    self.keepalive_tick()
+                except Exception:
+                    get_counter("server.liveness.errors").incr()
+
+        self._liveness_thread = threading.Thread(
+            target=_loop, name="e2-liveness", daemon=True
+        )
+        self._liveness_thread.start()
+
+    def stop_liveness(self) -> None:
+        self._liveness_running = False
+        thread = self._liveness_thread
+        self._liveness_thread = None
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=2.0)
 
     def _handle_service_update(self, state: _ConnState, update: RicServiceUpdate) -> None:
         if state.record is None:

@@ -51,6 +51,15 @@ class SubscriptionRecord:
     actions: List[RicActionDefinition] = field(default_factory=list)
     confirmed: bool = False
     indications_seen: int = 0
+    #: the event trigger the iApp subscribed with, kept so the server
+    #: can re-issue the request verbatim when a stale node recovers.
+    event_trigger: bytes = b""
+    #: True while the owning node is stale: the record is retained
+    #: (same request id) but awaiting resync to a fresh connection.
+    parked: bool = False
+    #: number of times this subscription was resynced after a node
+    #: recovery (diagnostics for the chaos suite).
+    resyncs: int = 0
 
 
 class SubscriptionManager:
@@ -68,6 +77,7 @@ class SubscriptionManager:
         callbacks: SubscriptionCallbacks,
         actions: Optional[List[RicActionDefinition]] = None,
         requestor_id: Optional[int] = None,
+        event_trigger: bytes = b"",
     ) -> SubscriptionRecord:
         """Allocate a request id and register the pending record.
 
@@ -85,6 +95,7 @@ class SubscriptionManager:
             ran_function_id=ran_function_id,
             callbacks=callbacks,
             actions=list(actions or ()),
+            event_trigger=bytes(event_trigger),
         )
         self._records[request.as_tuple()] = record
         return record
@@ -142,6 +153,45 @@ class SubscriptionManager:
         for key in keys:
             del self._records[key]
         return len(keys)
+
+    # -- stale-node lifecycle (server resync) -------------------------
+
+    def park_conn(self, conn_id: int) -> List[SubscriptionRecord]:
+        """Park a stale node's subscriptions instead of purging them.
+
+        The records keep their request ids — the whole point: when the
+        node re-attaches within its grace window the server re-issues
+        the same requests and the iApps' callbacks never notice the
+        outage.  Returns the records parked now.
+        """
+        parked = []
+        for record in self._records.values():
+            if record.conn_id == conn_id and not record.parked:
+                record.parked = True
+                record.confirmed = False
+                parked.append(record)
+        return parked
+
+    def adopt(self, records: List[SubscriptionRecord], new_conn_id: int) -> None:
+        """Re-home parked records onto the recovered node's connection."""
+        for record in records:
+            record.conn_id = new_conn_id
+            record.parked = False
+            record.resyncs += 1
+
+    def terminal_fail(self, record: SubscriptionRecord, failure: RicSubscriptionFailure) -> None:
+        """Grace expired: remove the record and tell its iApp the
+        subscription is gone for good."""
+        self._records.pop(record.request.as_tuple(), None)
+        if record.callbacks.on_failure is not None:
+            record.callbacks.on_failure(failure)
+
+    def parked_records(self) -> List[SubscriptionRecord]:
+        return [record for record in self._records.values() if record.parked]
+
+    def active_records(self) -> List[SubscriptionRecord]:
+        """Non-parked records (the chaos suite's duplicate check)."""
+        return [record for record in self._records.values() if not record.parked]
 
     def __len__(self) -> int:
         return len(self._records)

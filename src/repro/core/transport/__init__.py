@@ -8,19 +8,32 @@ E2AP is *ordered, reliable message boundaries*; this package provides:
 * :class:`~repro.core.transport.tcp.TcpTransport` — message framing
   over TCP sockets (the SCTP stand-in; see DESIGN.md substitutions),
 * :class:`~repro.core.transport.inproc.InProcTransport` — a loopback
-  transport for deterministic simulations and tests.
+  transport for deterministic simulations and tests,
+* :class:`~repro.core.transport.faulty.FaultyTransport` — a seeded
+  fault-injection decorator (drops, dups, reordering, corruption,
+  forced kills) for chaos-testing the lifecycle-resilience layer.
 """
 
-from repro.core.transport.base import Endpoint, Listener, Transport, TransportEvents
+from repro.core.transport.base import (
+    DisconnectReason,
+    Endpoint,
+    Listener,
+    Transport,
+    TransportEvents,
+)
+from repro.core.transport.faulty import FaultSpec, FaultyTransport
 from repro.core.transport.framing import Framer, frame_message, frame_messages
 from repro.core.transport.inproc import InProcTransport
 from repro.core.transport.tcp import TcpTransport
 
 __all__ = [
+    "DisconnectReason",
     "Endpoint",
     "Listener",
     "Transport",
     "TransportEvents",
+    "FaultSpec",
+    "FaultyTransport",
     "Framer",
     "frame_message",
     "frame_messages",

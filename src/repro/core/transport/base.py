@@ -2,8 +2,54 @@
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class DisconnectReason:
+    """Why a connection ended, as observed by the local side.
+
+    Transports pass one of these to ``on_disconnected`` so the layer
+    above can tell a deliberate local teardown from a peer reset or an
+    injected fault — the distinction drives the agent's reconnect
+    state machine (reconnect on network death, never on local close).
+    """
+
+    code: str
+    detail: str = ""
+
+    #: codes every transport maps onto.
+    EOF = "eof"                  # orderly close by the peer
+    RESET = "econnreset"         # peer reset the connection
+    ERROR = "error"              # other socket/OS error
+    LOCAL = "local"              # local close()/shutdown
+    PROTOCOL = "protocol"        # framing/protocol violation
+    INJECTED = "injected"        # fault-injection kill (FaultyTransport)
+    KEEPALIVE = "keepalive"      # liveness probe declared the peer dead
+
+    def __str__(self) -> str:
+        return f"{self.code}({self.detail})" if self.detail else self.code
+
+
+def _adapt_disconnect(callback: Optional[Callable]) -> Callable:
+    """Normalize an ``on_disconnected`` callback to two arguments.
+
+    Historic callbacks take ``(endpoint)``; resilience-aware ones take
+    ``(endpoint, reason)``.  Both keep working: the adapter inspects
+    the signature once at registration time, never per event.
+    """
+    if callback is None:
+        return lambda endpoint, reason=None: None
+    try:
+        inspect.signature(callback).bind(None, None)
+    except TypeError:
+        return lambda endpoint, reason=None: callback(endpoint)
+    except ValueError:  # builtins without introspectable signatures
+        pass
+    return callback
 
 
 class Endpoint(ABC):
@@ -55,11 +101,13 @@ class TransportEvents:
         self,
         on_connected: Optional[Callable[[Endpoint], None]] = None,
         on_message: Optional[Callable[[Endpoint, bytes], None]] = None,
-        on_disconnected: Optional[Callable[[Endpoint], None]] = None,
+        on_disconnected: Optional[Callable] = None,
     ) -> None:
         self.on_connected = on_connected or (lambda endpoint: None)
         self.on_message = on_message or (lambda endpoint, data: None)
-        self.on_disconnected = on_disconnected or (lambda endpoint: None)
+        # ``on_disconnected`` receives ``(endpoint, reason)``; one-arg
+        # callbacks are adapted so pre-resilience code keeps working.
+        self.on_disconnected = _adapt_disconnect(on_disconnected)
 
 
 class Listener(ABC):

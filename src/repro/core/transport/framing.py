@@ -24,6 +24,11 @@ _LEN = struct.Struct(">I")
 #: MTU experiments yet small enough to catch stream corruption.
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 
+#: Default receive-side frame cap.  Tighter than the send-side cap: a
+#: corrupt length prefix must be rejected before the receive buffer is
+#: asked to hold it, or a single flipped bit OOMs the process.
+DEFAULT_MAX_FRAME_LEN = 16 * 1024 * 1024
+
 #: Consumed-prefix size beyond which the receive buffer is compacted.
 #: Below this the dead bytes are cheaper to carry than to move.
 _COMPACT_THRESHOLD = 1 << 16
@@ -66,7 +71,10 @@ class Framer:
         [b'hi', b'yo']
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_frame_len: int = DEFAULT_MAX_FRAME_LEN) -> None:
+        if max_frame_len <= 0:
+            raise ValueError(f"max_frame_len must be positive, got {max_frame_len}")
+        self.max_frame_len = min(max_frame_len, MAX_MESSAGE_BYTES)
         self._buffer = bytearray()
         self._pos = 0  # read cursor: bytes before it are consumed
 
@@ -84,8 +92,10 @@ class Framer:
         try:
             while limit - pos >= header:
                 (length,) = _LEN.unpack_from(buffer, pos)
-                if length > MAX_MESSAGE_BYTES:
-                    raise FramingError(f"frame length {length} exceeds cap")
+                if length > self.max_frame_len:
+                    raise FramingError(
+                        f"frame length {length} exceeds cap {self.max_frame_len}"
+                    )
                 end = pos + header + length
                 if end > limit:
                     break

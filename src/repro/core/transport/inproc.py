@@ -17,7 +17,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
 
-from repro.core.transport.base import Endpoint, Listener, Transport, TransportEvents
+from repro.core.transport.base import (
+    DisconnectReason,
+    Endpoint,
+    Listener,
+    Transport,
+    TransportEvents,
+)
 
 
 class _InProcEndpoint(Endpoint):
@@ -79,12 +85,16 @@ class _InProcEndpoint(Endpoint):
         self._closed = True
         other = self._other
         if other is not None and not other._closed:
-            self._transport._enqueue(lambda: other._signal_disconnect())
+            # The peer observes an orderly EOF, exactly like TCP.
+            reason = DisconnectReason(DisconnectReason.EOF)
+            self._transport._enqueue(lambda: other._signal_disconnect(reason))
 
-    def _signal_disconnect(self) -> None:
+    def _signal_disconnect(self, reason: Optional[DisconnectReason] = None) -> None:
         if not self._closed:
             self._closed = True
-            self._events.on_disconnected(self)
+            self._events.on_disconnected(
+                self, reason or DisconnectReason(DisconnectReason.EOF)
+            )
 
     @property
     def peer(self) -> str:

@@ -10,13 +10,33 @@ drive real sockets on localhost exactly as the paper measured.
 
 from __future__ import annotations
 
+import errno
 import selectors
 import socket
 import threading
 from typing import Dict, Optional, Sequence
 
-from repro.core.transport.base import Endpoint, Listener, Transport, TransportEvents
-from repro.core.transport.framing import Framer, frame_message, frame_messages
+from repro.core.transport.base import (
+    DisconnectReason,
+    Endpoint,
+    Listener,
+    Transport,
+    TransportEvents,
+)
+from repro.core.transport.framing import Framer, FramingError, frame_message, frame_messages
+from repro.metrics.counters import get_counter
+
+
+def _classify_oserror(exc: OSError) -> DisconnectReason:
+    """Map a socket error onto a close-cause bucket.
+
+    Recorded per bucket in ``repro.metrics`` counters so a flapping
+    testbed shows *why* links die (peer resets versus silent EOFs),
+    not just that they do.
+    """
+    if exc.errno in (errno.ECONNRESET, errno.EPIPE):
+        return DisconnectReason(DisconnectReason.RESET, str(exc))
+    return DisconnectReason(DisconnectReason.ERROR, str(exc))
 
 
 def _parse_address(address: str) -> tuple:
@@ -47,8 +67,11 @@ class _TcpEndpoint(Endpoint):
         frame = frame_message(data)
         # sendall under a lock: POSIX sockets are thread-safe but frame
         # interleaving from concurrent senders must still be prevented.
-        with self._send_lock:
-            self._sock.sendall(frame)
+        try:
+            with self._send_lock:
+                self._sock.sendall(frame)
+        except OSError as exc:
+            raise self._send_failed(exc)
         self.bytes_sent += len(data)
         self.messages_sent += 1
 
@@ -59,13 +82,27 @@ class _TcpEndpoint(Endpoint):
             raise ConnectionError("endpoint closed")
         # One coalesced write: the peer's framer restores boundaries.
         wire = frame_messages(batch)
-        with self._send_lock:
-            self._sock.sendall(wire)
+        try:
+            with self._send_lock:
+                self._sock.sendall(wire)
+        except OSError as exc:
+            raise self._send_failed(exc)
         self.bytes_sent += sum(len(data) for data in batch)
         self.messages_sent += len(batch)
 
+    def _send_failed(self, exc: OSError) -> ConnectionError:
+        """Account for a send-side death and tear the endpoint down."""
+        reason = _classify_oserror(exc)
+        get_counter(f"tcp.close.{reason.code}").incr()
+        self._transport._close_endpoint(self, notify_local=True, reason=reason)
+        return ConnectionError(f"send failed: {exc}")
+
     def close(self) -> None:
-        self._transport._close_endpoint(self, notify_local=False)
+        self._transport._close_endpoint(
+            self,
+            notify_local=False,
+            reason=DisconnectReason(DisconnectReason.LOCAL),
+        )
 
     @property
     def peer(self) -> str:
@@ -215,15 +252,40 @@ class TcpTransport(Transport):
             chunk = endpoint._sock.recv(self.RECV_SIZE)
         except BlockingIOError:
             return
-        except OSError:
-            chunk = b""
-        if not chunk:
-            self._close_endpoint(endpoint, notify_local=True)
+        except OSError as exc:
+            reason = _classify_oserror(exc)
+            get_counter(f"tcp.close.{reason.code}").incr()
+            self._close_endpoint(endpoint, notify_local=True, reason=reason)
             return
-        for message in endpoint._framer.feed(chunk):
+        if not chunk:
+            get_counter("tcp.close.eof").incr()
+            self._close_endpoint(
+                endpoint,
+                notify_local=True,
+                reason=DisconnectReason(DisconnectReason.EOF),
+            )
+            return
+        try:
+            messages = endpoint._framer.feed(chunk)
+        except FramingError as exc:
+            # Corrupt/oversize length prefix: kill the link instead of
+            # letting the receive buffer grow towards the bogus length.
+            get_counter("tcp.close.framing").incr()
+            self._close_endpoint(
+                endpoint,
+                notify_local=True,
+                reason=DisconnectReason(DisconnectReason.PROTOCOL, str(exc)),
+            )
+            return
+        for message in messages:
             endpoint._events.on_message(endpoint, message)
 
-    def _close_endpoint(self, endpoint: _TcpEndpoint, notify_local: bool) -> None:
+    def _close_endpoint(
+        self,
+        endpoint: _TcpEndpoint,
+        notify_local: bool,
+        reason: Optional[DisconnectReason] = None,
+    ) -> None:
         if endpoint._closed:
             return
         endpoint._closed = True
@@ -236,7 +298,9 @@ class TcpTransport(Transport):
         except OSError:
             pass
         if notify_local:
-            endpoint._events.on_disconnected(endpoint)
+            endpoint._events.on_disconnected(
+                endpoint, reason or DisconnectReason(DisconnectReason.ERROR)
+            )
 
     def _close_listener(self, listener: _TcpListener) -> None:
         with self._lock:

@@ -12,7 +12,15 @@ This package provides the probes that replace the paper's testbed tools
   hit/miss rates and similar hot-path diagnostics).
 """
 
-from repro.metrics.counters import Counter, counter_values, get_counter, reset_counters
+from repro.metrics.counters import (
+    Counter,
+    Gauge,
+    counter_values,
+    gauge_values,
+    get_counter,
+    get_gauge,
+    reset_counters,
+)
 from repro.metrics.cpu import CpuMeter, CpuSample
 from repro.metrics.memory import MemoryMeter, deep_sizeof
 from repro.metrics.stats import Summary, cdf, percentile, summarize
@@ -21,12 +29,15 @@ __all__ = [
     "Counter",
     "CpuMeter",
     "CpuSample",
+    "Gauge",
     "MemoryMeter",
     "Summary",
     "cdf",
     "counter_values",
     "deep_sizeof",
+    "gauge_values",
     "get_counter",
+    "get_gauge",
     "percentile",
     "reset_counters",
     "summarize",

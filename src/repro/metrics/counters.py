@@ -36,7 +36,41 @@ class Counter:
         return f"Counter({self.name!r}, value={self.value})"
 
 
+class Gauge:
+    """One named point-in-time value (e.g. a link's lifecycle state).
+
+    Same registry discipline as :class:`Counter`: process-global,
+    unsynchronized, cheap enough for per-event updates.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
 _COUNTERS: Dict[str, Counter] = {}
+_GAUGES: Dict[str, Gauge] = {}
+
+
+def get_gauge(name: str) -> Gauge:
+    """Fetch (creating on first use) the gauge with ``name``."""
+    gauge = _GAUGES.get(name)
+    if gauge is None:
+        gauge = _GAUGES[name] = Gauge(name)
+    return gauge
+
+
+def gauge_values() -> Dict[str, int]:
+    """Snapshot of every registered gauge, keyed by name."""
+    return {name: gauge.value for name, gauge in _GAUGES.items()}
 
 
 def get_counter(name: str) -> Counter:

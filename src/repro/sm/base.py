@@ -149,6 +149,12 @@ class PeriodicReportFunction(RanFunction):
         key = handle.key()
         self.subscriptions[key] = handle
         self._report_actions[key] = report_ids
+        # Re-subscription (journal replay after reconnect, or the
+        # server's resync) replaces the previous registration: stop a
+        # still-armed task so the stream never doubles up.
+        previous = self._tasks.pop(key, None)
+        if previous is not None:
+            previous.stop()
         if self.clock is not None:
             period_s = trigger.period_ms / 1000.0
             self._tasks[key] = self.clock.call_every(
