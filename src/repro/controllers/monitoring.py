@@ -19,6 +19,7 @@ from repro.core.server import events as topics
 from repro.core.server.iapp import IApp
 from repro.core.server.randb import AgentRecord
 from repro.core.server.submgr import SubscriptionCallbacks
+from repro.metrics.trace import TRACER as _TRACER
 from repro.sm.base import PeriodicTrigger, decode_payload
 
 
@@ -148,6 +149,15 @@ class StatsMonitorIApp(IApp):
             record = self.server.submgr.lookup(*key)
             if record is not None and record.conn_id != conn_id:
                 self._oid_by_request[key] = (record.conn_id, oid)
+
+    def stage_breakdown(self) -> Dict[str, dict]:
+        """Per-stage latency snapshots of the traced indication path.
+
+        Empty unless :mod:`repro.metrics.trace` is enabled; the stages
+        (encode/frame/send/recv/decode/dispatch) are the decomposition
+        the Fig. 9b monitoring comparison reports per component.
+        """
+        return _TRACER.stage_breakdown()
 
     def _store_indication(self, event) -> None:
         self.indications_received += 1

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -55,8 +56,9 @@ from repro.core.agent.ran_function import IndicationSink, RanFunction, Subscript
 from repro.core.agent.reconnect import ReconnectPolicy, Scheduler, timer_scheduler
 from repro.core.e2ap.ies import RicActionDefinition
 from repro.core.transport.base import DisconnectReason, Endpoint, Transport, TransportEvents
-from repro.metrics.counters import get_counter, get_gauge
+from repro.metrics.counters import discard_gauge, get_counter, get_gauge
 from repro.metrics.cpu import CpuMeter
+from repro.metrics.trace import TRACER as _TRACER
 
 
 @dataclass
@@ -348,9 +350,13 @@ class Agent(IndicationSink):
         self._set_state_gauge(origin, state)
 
     def _set_state_gauge(self, origin: int, state: LinkState) -> None:
-        get_gauge(
-            f"agent.{self.config.node_id.label}.link.{origin}.state"
-        ).set(int(state))
+        name = f"agent.{self.config.node_id.label}.link.{origin}.state"
+        if state == LinkState.DEAD:
+            # A dead link's gauge would otherwise sit at 5 forever in
+            # every later snapshot; drop it so exports show live links.
+            discard_gauge(name)
+            return
+        get_gauge(name).set(int(state))
 
     def _send_setup(self, origin: int, endpoint: Endpoint) -> None:
         items = [
@@ -464,6 +470,9 @@ class Agent(IndicationSink):
         current = self._endpoints.get(origin)
         if current is None or current.closed or current is endpoint:
             self._endpoints[origin] = endpoint
+        tracer = _TRACER
+        if tracer.enabled:
+            tracer.node = self.config.node_id.label
         with self.cpu.measure():
             try:
                 message = decode_message(data, self.codec)
@@ -471,6 +480,7 @@ class Agent(IndicationSink):
                 # A corrupted frame must never take the link's dispatch
                 # context down; count it and tell the controller.
                 get_counter("agent.rx.decode_error").incr()
+                get_counter("decode.contained").incr()
                 self._safe_reply(
                     endpoint,
                     ErrorIndication(
@@ -478,7 +488,16 @@ class Agent(IndicationSink):
                     ),
                 )
                 return
+            trace_start = time.perf_counter() if tracer.enabled else 0.0
             reply = self._dispatch(origin, message)
+            if trace_start:
+                request = getattr(message, "request", None)
+                tracer.record(
+                    "dispatch",
+                    trace_start,
+                    request.as_tuple() if request is not None else None,
+                    procedure=message.procedure.name.lower(),
+                )
             if reply is not None:
                 self._safe_reply(endpoint, reply)
 

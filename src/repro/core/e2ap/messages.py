@@ -20,6 +20,7 @@ benchmarked in Fig. 7.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Type
@@ -27,6 +28,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Type
 from repro.core.codec import base
 from repro.core.codec.base import Codec, CodecError
 from repro.metrics import counters
+from repro.metrics.trace import TRACER as _TRACER
 from repro.core.e2ap.ies import (
     GlobalE2NodeId,
     RanFunctionItem,
@@ -147,7 +149,25 @@ def encode_message(msg: E2Message, codec: Codec) -> bytes:
     keyed on the codec name and the frozen message; the cache is
     invalidated wholesale when the codec registry changes, so swapping
     an implementation under the same name can never serve stale bytes.
+
+    With tracing enabled an ``encode`` span is recorded, correlated on
+    the message's RIC request id (when it has one) so the span
+    stitches to the matching transport/decode/dispatch spans; the
+    correlation is also noted for the transport send that follows.
     """
+    tracer = _TRACER
+    if tracer.enabled:
+        start = time.perf_counter()
+        wire = _encode_message(msg, codec)
+        request = getattr(msg, "request", None)
+        corr = request.as_tuple() if request is not None else None
+        tracer.note_corr(corr)
+        tracer.record("encode", start, corr, procedure=msg.procedure.name.lower())
+        return wire
+    return _encode_message(msg, codec)
+
+
+def _encode_message(msg: E2Message, codec: Codec) -> bytes:
     global _encode_cache_version
     if msg.encode_cacheable:
         version = base.registry_version()
@@ -173,7 +193,27 @@ def encode_message(msg: E2Message, codec: Codec) -> bytes:
 
 
 def decode_message(data: bytes, codec: Codec) -> E2Message:
-    """Deserialize into the concrete message dataclass."""
+    """Deserialize into the concrete message dataclass.
+
+    With tracing enabled a ``decode`` span is recorded, correlated the
+    same way as :func:`encode_message`.
+    """
+    tracer = _TRACER
+    if tracer.enabled:
+        start = time.perf_counter()
+        msg = _decode_message(data, codec)
+        request = getattr(msg, "request", None)
+        tracer.record(
+            "decode",
+            start,
+            request.as_tuple() if request is not None else None,
+            procedure=msg.procedure.name.lower(),
+        )
+        return msg
+    return _decode_message(data, codec)
+
+
+def _decode_message(data: bytes, codec: Codec) -> E2Message:
     tree = codec.decode(data)
     key = (tree["p"], tree["c"])
     try:

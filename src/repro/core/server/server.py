@@ -62,6 +62,7 @@ from repro.core.transport.base import (
 from repro.metrics.counters import get_counter
 from repro.metrics.cpu import CpuMeter
 from repro.metrics.memory import MemoryMeter
+from repro.metrics.trace import TRACER as _TRACER
 
 
 @dataclass
@@ -91,6 +92,14 @@ class ServerConfig:
     #: unanswered keepalives tolerated before the node is declared
     #: silently dead and pushed down the stale path.
     keepalive_misses: int = 3
+
+
+def _procedure_name(procedure: int) -> str:
+    """Span label for a procedure code; tolerant of unknown codes."""
+    try:
+        return ProcedureCode(procedure).name.lower()
+    except ValueError:
+        return f"procedure_{procedure}"
 
 
 class IndicationEvent:
@@ -206,6 +215,7 @@ class Server:
         #: with a fake time source; production uses ``time.monotonic``).
         self.time_fn = time_fn
         self.codec: Codec = get_codec(self.config.e2ap_codec)
+        self._node_label = f"ric-{self.config.ric_id}"
         self.cpu = cpu_meter or CpuMeter(f"server-{self.config.ric_id}")
         self.memory = MemoryMeter(f"server-{self.config.ric_id}")
         self.events = EventBus()
@@ -443,6 +453,11 @@ class Server:
         # Any traffic proves the agent alive: reset the keepalive state.
         state.last_seen = self.time_fn()
         state.pending_queries = 0
+        tracer = _TRACER
+        trace_start = 0.0
+        if tracer.enabled:
+            tracer.node = self._node_label
+            trace_start = time.perf_counter()
         with self.cpu.measure():
             try:
                 tree = self.codec.decode(data)
@@ -452,15 +467,35 @@ class Server:
                 # A corrupted frame (chaos transport, buggy peer) must
                 # not take the whole server transport thread down.
                 get_counter("server.rx.decode_error").incr()
+                get_counter("decode.contained").incr()
                 return
             if procedure == int(ProcedureCode.RIC_INDICATION):
                 # Hot path: route on header scalars only.  Handling is
                 # stateless, so it may run on a worker thread (§4.4).
                 event = IndicationEvent(state.conn_id, tree["v"])
+                if trace_start:
+                    # Forcing the request-id read here is the decode
+                    # cost the span is meant to charge.
+                    tracer.record(
+                        "decode",
+                        trace_start,
+                        (event.requestor_id, event.instance_id),
+                        procedure="ric_indication",
+                    )
                 if self._pool is not None:
                     self._pool.submit(self.submgr.deliver_indication, event)
                 else:
                     self.submgr.deliver_indication(event)
+                return
+            if trace_start:
+                tracer.record(
+                    "decode", trace_start, procedure=_procedure_name(procedure)
+                )
+                dispatch_start = time.perf_counter()
+                self._handle_slow_path(state, procedure, msg_class, tree["v"])
+                tracer.record(
+                    "dispatch", dispatch_start, procedure=_procedure_name(procedure)
+                )
                 return
             self._handle_slow_path(state, procedure, msg_class, tree["v"])
 
@@ -754,6 +789,8 @@ class Server:
         state = self._conns.get(conn_id)
         if state is None or state.endpoint.closed:
             raise ConnectionError(f"no live agent connection {conn_id}")
+        if _TRACER.enabled:
+            _TRACER.node = self._node_label
         with self.cpu.measure():
             data = encode_message(message, self.codec)
         state.endpoint.send(data)
@@ -764,6 +801,8 @@ class Server:
         state = self._conns.get(conn_id)
         if state is None or state.endpoint.closed:
             raise ConnectionError(f"no live agent connection {conn_id}")
+        if _TRACER.enabled:
+            _TRACER.node = self._node_label
         with self.cpu.measure():
             batch = [encode_message(message, self.codec) for message in messages]
         state.endpoint.send_many(batch)

@@ -11,9 +11,11 @@ of Fig. 8b.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.metrics.trace import TRACER as _TRACER
 from repro.core.e2ap.ies import RicActionDefinition, RicRequestId
 from repro.core.e2ap.messages import (
     RicSubscriptionDeleteResponse,
@@ -126,13 +128,25 @@ class SubscriptionManager:
 
         ``event`` must expose ``requestor_id``/``instance_id`` cheaply
         (lazy header peek); the payload is only touched by the iApp.
+        With tracing enabled the lookup plus the iApp callback are
+        recorded as one ``dispatch`` span, correlated on the request id
+        — the "dispatch-to-iApp" stage of the Fig. 9 decomposition.
         """
+        tracer = _TRACER
+        trace_start = time.perf_counter() if tracer.enabled else 0.0
         record = self._records.get((event.requestor_id, event.instance_id))
         if record is None:
             return None
         record.indications_seen += 1
         if record.callbacks.on_indication is not None:
             record.callbacks.on_indication(event)
+        if trace_start:
+            tracer.record(
+                "dispatch",
+                trace_start,
+                (event.requestor_id, event.instance_id),
+                procedure="ric_indication",
+            )
         return record
 
     def remove(self, request: RicRequestId) -> Optional[SubscriptionRecord]:

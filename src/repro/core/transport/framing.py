@@ -16,7 +16,10 @@ keeping the amortized cost per frame O(frame size).
 from __future__ import annotations
 
 import struct
+import time
 from typing import Iterable, List
+
+from repro.metrics.trace import TRACER as _TRACER
 
 _LEN = struct.Struct(">I")
 
@@ -39,9 +42,19 @@ class FramingError(Exception):
 
 
 def frame_message(payload: bytes) -> bytes:
-    """Prefix ``payload`` with its length."""
+    """Prefix ``payload`` with its length.
+
+    With tracing enabled a ``frame`` span is recorded, adopting the
+    correlation of the message encoded just before.
+    """
     if len(payload) > MAX_MESSAGE_BYTES:
         raise FramingError(f"message too large: {len(payload)} B")
+    tracer = _TRACER
+    if tracer.enabled:
+        start = time.perf_counter()
+        frame = _LEN.pack(len(payload)) + payload
+        tracer.record("frame", start, tracer.adopt_corr())
+        return frame
     return _LEN.pack(len(payload)) + payload
 
 
@@ -52,13 +65,18 @@ def frame_messages(payloads: Iterable[bytes]) -> bytes:
     messages, so a batch costs one syscall on stream transports while
     message boundaries survive intact.
     """
+    tracer = _TRACER
+    start = time.perf_counter() if tracer.enabled else 0.0
     parts: List[bytes] = []
     for payload in payloads:
         if len(payload) > MAX_MESSAGE_BYTES:
             raise FramingError(f"message too large: {len(payload)} B")
         parts.append(_LEN.pack(len(payload)))
         parts.append(payload)
-    return b"".join(parts)
+    wire = b"".join(parts)
+    if start:
+        tracer.record("frame", start, tracer.adopt_corr())
+    return wire
 
 
 class Framer:
@@ -79,7 +97,15 @@ class Framer:
         self._pos = 0  # read cursor: bytes before it are consumed
 
     def feed(self, chunk: bytes) -> List[bytes]:
-        """Absorb ``chunk``; return every now-complete message."""
+        """Absorb ``chunk``; return every now-complete message.
+
+        With tracing enabled the deframe pass is recorded as a
+        ``frame`` span (procedure ``deframe``); the bytes are not yet
+        decodable, so it carries no correlation — stitching places it
+        by time window instead.
+        """
+        tracer = _TRACER
+        trace_start = time.perf_counter() if tracer.enabled else 0.0
         buffer = self._buffer
         buffer.extend(chunk)
         pos = self._pos
@@ -112,6 +138,8 @@ class Framer:
             self._pos = 0
         else:
             self._pos = pos
+        if trace_start:
+            tracer.record("frame", trace_start, procedure="deframe")
         return messages
 
     @property

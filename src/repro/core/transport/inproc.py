@@ -14,6 +14,7 @@ synchronous and deterministic.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
 
@@ -24,6 +25,7 @@ from repro.core.transport.base import (
     Transport,
     TransportEvents,
 )
+from repro.metrics.trace import TRACER as _TRACER
 
 
 class _InProcEndpoint(Endpoint):
@@ -53,6 +55,18 @@ class _InProcEndpoint(Endpoint):
         self.bytes_sent += len(data)
         self.messages_sent += 1
         other = self._other
+        tracer = _TRACER
+        if tracer.enabled:
+            # Time only the hand-off (the transport's own cost); the
+            # drain below runs the receiver's decode/dispatch, which
+            # record their own spans.
+            start = time.perf_counter()
+            self._transport._queue.append(
+                lambda: other._events.on_message(other, bytes(data))
+            )
+            tracer.record("send", start, tracer.adopt_corr(), node=self._peer_label)
+            self._transport._drain()
+            return
         self._transport._enqueue(lambda: other._events.on_message(other, bytes(data)))
 
     def send_many(self, batch: Sequence[bytes]) -> None:
@@ -77,6 +91,13 @@ class _InProcEndpoint(Endpoint):
 
         # One queue entry for the batch mirrors the TCP transport's
         # single coalesced write; delivery stays one message at a time.
+        tracer = _TRACER
+        if tracer.enabled:
+            start = time.perf_counter()
+            self._transport._queue.append(deliver)
+            tracer.record("send", start, tracer.adopt_corr(), node=self._peer_label)
+            self._transport._drain()
+            return
         self._transport._enqueue(deliver)
 
     def close(self) -> None:

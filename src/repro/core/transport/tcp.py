@@ -14,6 +14,7 @@ import errno
 import selectors
 import socket
 import threading
+import time
 from typing import Dict, Optional, Sequence
 
 from repro.core.transport.base import (
@@ -25,6 +26,7 @@ from repro.core.transport.base import (
 )
 from repro.core.transport.framing import Framer, FramingError, frame_message, frame_messages
 from repro.metrics.counters import get_counter
+from repro.metrics.trace import TRACER as _TRACER
 
 
 def _classify_oserror(exc: OSError) -> DisconnectReason:
@@ -65,6 +67,8 @@ class _TcpEndpoint(Endpoint):
         if self._closed:
             raise ConnectionError("endpoint closed")
         frame = frame_message(data)
+        tracer = _TRACER
+        trace_start = time.perf_counter() if tracer.enabled else 0.0
         # sendall under a lock: POSIX sockets are thread-safe but frame
         # interleaving from concurrent senders must still be prevented.
         try:
@@ -72,6 +76,8 @@ class _TcpEndpoint(Endpoint):
                 self._sock.sendall(frame)
         except OSError as exc:
             raise self._send_failed(exc)
+        if trace_start:
+            tracer.record("send", trace_start, tracer.adopt_corr(), node=self._peer)
         self.bytes_sent += len(data)
         self.messages_sent += 1
 
@@ -82,11 +88,15 @@ class _TcpEndpoint(Endpoint):
             raise ConnectionError("endpoint closed")
         # One coalesced write: the peer's framer restores boundaries.
         wire = frame_messages(batch)
+        tracer = _TRACER
+        trace_start = time.perf_counter() if tracer.enabled else 0.0
         try:
             with self._send_lock:
                 self._sock.sendall(wire)
         except OSError as exc:
             raise self._send_failed(exc)
+        if trace_start:
+            tracer.record("send", trace_start, tracer.adopt_corr(), node=self._peer)
         self.bytes_sent += sum(len(data) for data in batch)
         self.messages_sent += len(batch)
 
@@ -248,6 +258,8 @@ class TcpTransport(Transport):
         listener._events.on_connected(endpoint)
 
     def _read(self, endpoint: _TcpEndpoint) -> None:
+        tracer = _TRACER
+        trace_start = time.perf_counter() if tracer.enabled else 0.0
         try:
             chunk = endpoint._sock.recv(self.RECV_SIZE)
         except BlockingIOError:
@@ -265,6 +277,10 @@ class TcpTransport(Transport):
                 reason=DisconnectReason(DisconnectReason.EOF),
             )
             return
+        if trace_start:
+            # The recv syscall only; deframe and decode have their own
+            # spans (no correlation yet — the bytes are still opaque).
+            tracer.record("recv", trace_start, node=endpoint._peer)
         try:
             messages = endpoint._framer.feed(chunk)
         except FramingError as exc:

@@ -17,14 +17,17 @@ Paper shapes to reproduce:
 
 from __future__ import annotations
 
+import argparse
+import json
 import threading
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.flexran import FlexRanAgent, FlexRanController
 from repro.core.transport.tcp import TcpTransport
 from repro.experiments.common import signaling_rate_mbps
+from repro.metrics import trace as trace_mod
 from repro.metrics.stats import Summary, summarize
 
 #: The four double-encoding combinations of §5.2, (E2AP, E2SM).
@@ -39,15 +42,36 @@ PAYLOAD_SIZES = (100, 1500)
 
 @dataclass
 class RttResult:
-    """RTT measurements of one configuration."""
+    """RTT measurements of one configuration.
+
+    ``stages`` is filled only on traced runs: per-stage latency
+    histogram snapshots (encode/frame/send/recv/decode/dispatch) for
+    the measured pings, i.e. the breakdown of where the RTT went.
+    """
 
     label: str
     payload: int
     summary: Summary
+    stages: Optional[Dict[str, dict]] = None
+
+    def to_row(self) -> dict:
+        row = {
+            "label": self.label,
+            "payload": self.payload,
+            "count": self.summary.count,
+            "mean_us": self.summary.mean,
+            "p50_us": self.summary.p50,
+            "p95_us": self.summary.p95,
+            "p99_us": self.summary.p99,
+        }
+        if self.stages is not None:
+            row["stages"] = self.stages
+        return row
 
 
 def run_flexric_rtt(
-    e2ap_codec: str, e2sm_codec: str, payload: int, pings: int = 50
+    e2ap_codec: str, e2sm_codec: str, payload: int, pings: int = 50,
+    traced: bool = False,
 ) -> RttResult:
     """Ping over real localhost TCP sockets, as the paper measured.
 
@@ -55,8 +79,14 @@ def run_flexric_rtt(
     (mirroring the paper's epoll-based processes): the RTT then
     reflects socket and codec costs instead of Python thread-wakeup
     jitter, which would otherwise dwarf the codec differences.
+
+    With ``traced`` the procedure tracer is enabled and stage
+    histograms are reset after warm-up, so ``RttResult.stages`` covers
+    exactly the measured pings.
     """
     transport = TcpTransport()
+    if traced:
+        trace_mod.enable()
     try:
         from repro.core.server.server import Server, ServerConfig
         from repro.experiments.common import FlexRicPair, HwPingerIApp
@@ -76,25 +106,71 @@ def run_flexric_rtt(
         )
         agent.register_function(hw.HwRanFunction(sm_codec=e2sm_codec))
         agent.connect_async(listener.address)
-        deadline = time.time() + 5.0
+        deadline = time.monotonic() + 5.0
         while not pinger.subscribed.is_set():
             transport.step(0.05)
-            if time.time() > deadline:
+            if time.monotonic() > deadline:
                 raise TimeoutError("subscription did not complete")
         pump = lambda: transport.step(0.05)
         data = b"p" * payload
         for _ in range(10):  # warm-up: sockets, codec caches, allocator
             pinger.ping(data, pump=pump)
         pinger.rtts_us.clear()
+        if traced:
+            trace_mod.reset()
         for _ in range(pings):
             pinger.ping(data, pump=pump)
         return RttResult(
             label=f"{e2ap_codec}/{e2sm_codec}",
             payload=payload,
             summary=summarize(pinger.rtts_us),
+            stages=trace_mod.TRACER.stage_breakdown() if traced else None,
         )
     finally:
         transport.stop()
+        if traced:
+            trace_mod.disable()
+
+
+def run_flexric_rtt_inproc(
+    e2ap_codec: str, e2sm_codec: str, payload: int, pings: int = 50,
+    traced: bool = False,
+) -> RttResult:
+    """Same ping exchange over the in-process loopback transport.
+
+    No sockets, no selector: the RTT is pure codec + framing +
+    dispatch cost, which is the configuration CI uses to exercise the
+    tracer deterministically (and the cheapest way to compare stage
+    breakdowns across codec combinations).
+    """
+    from repro.core.transport.inproc import InProcTransport
+    from repro.experiments.common import wire_flexric_pair
+
+    transport = InProcTransport()
+    if traced:
+        trace_mod.enable()
+    pair = None
+    try:
+        pair = wire_flexric_pair(transport, "ric", e2ap_codec, e2sm_codec)
+        data = b"p" * payload
+        for _ in range(10):  # warm-up: codec caches, allocator
+            pair.pinger.ping(data)
+        pair.pinger.rtts_us.clear()
+        if traced:
+            trace_mod.reset()
+        for _ in range(pings):
+            pair.pinger.ping(data)
+        return RttResult(
+            label=f"{e2ap_codec}/{e2sm_codec}",
+            payload=payload,
+            summary=summarize(pair.pinger.rtts_us),
+            stages=trace_mod.TRACER.stage_breakdown() if traced else None,
+        )
+    finally:
+        if pair is not None:
+            pair.close()
+        if traced:
+            trace_mod.disable()
 
 
 def run_flexran_rtt(payload: int, pings: int = 50) -> RttResult:
@@ -112,8 +188,8 @@ def run_flexran_rtt(payload: int, pings: int = 50) -> RttResult:
             pdcp_provider=lambda: {"bearers": []},
         )
         agent.connect(listener.address)
-        deadline = time.time() + 5.0
-        while not controller.agent_ids and time.time() < deadline:
+        deadline = time.monotonic() + 5.0
+        while not controller.agent_ids and time.monotonic() < deadline:
             time.sleep(0.001)
         if not controller.agent_ids:
             raise TimeoutError("FlexRAN agent did not register")
@@ -174,16 +250,86 @@ def _flexran_signaling_mbps(payload: int, period_ms: float) -> float:
     return (len(request) + len(reply)) * 8.0 * per_second / 1e6
 
 
-def main() -> None:
-    print("=== Fig. 7a: HW-E2SM ping round-trip time (localhost TCP) ===")
-    for result in run_rtt_sweep(pings=30):
-        print(
-            f"  {result.label:<8} payload={result.payload:>5}B  "
-            f"mean={result.summary.mean:8.1f}us p50={result.summary.p50:8.1f}us"
-        )
-    print("=== Fig. 7b: signaling rate at 1 ping/ms ===")
-    for row in run_signaling_sweep():
-        print(f"  {row['label']:<8} payload={row['payload']:>5}B  {row['mbps']:6.2f} Mbps")
+def _print_result(result: RttResult) -> None:
+    print(
+        f"  {result.label:<8} payload={result.payload:>5}B  "
+        f"mean={result.summary.mean:8.1f}us p50={result.summary.p50:8.1f}us"
+    )
+    if result.stages:
+        for stage, snap in sorted(result.stages.items()):
+            print(
+                f"      {stage:<9} n={snap['count']:>5} "
+                f"mean={snap['mean']:8.1f}us p95={snap['p95']:8.1f}us"
+            )
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Fig. 7: encoding impact on RTT and signaling rate"
+    )
+    parser.add_argument(
+        "--inproc",
+        action="store_true",
+        help="run the codec sweep over the in-process transport only "
+        "(no sockets; deterministic, used by CI)",
+    )
+    parser.add_argument(
+        "--traced",
+        action="store_true",
+        help="enable E2AP procedure tracing and report per-stage latency",
+    )
+    parser.add_argument(
+        "--pings", type=int, default=30, help="measured pings per configuration"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write results (and the trace snapshot when --traced) as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    results: List[RttResult] = []
+    if args.inproc:
+        print("=== Fig. 7a: HW-E2SM ping round-trip time (in-process) ===")
+        for payload in PAYLOAD_SIZES:
+            for e2ap, e2sm in COMBINATIONS:
+                result = run_flexric_rtt_inproc(
+                    e2ap, e2sm, payload, pings=args.pings, traced=args.traced
+                )
+                _print_result(result)
+                results.append(result)
+    else:
+        print("=== Fig. 7a: HW-E2SM ping round-trip time (localhost TCP) ===")
+        for payload in PAYLOAD_SIZES:
+            for e2ap, e2sm in COMBINATIONS:
+                result = run_flexric_rtt(
+                    e2ap, e2sm, payload, pings=args.pings, traced=args.traced
+                )
+                _print_result(result)
+                results.append(result)
+            flexran = run_flexran_rtt(payload, pings=args.pings)
+            _print_result(flexran)
+            results.append(flexran)
+        print("=== Fig. 7b: signaling rate at 1 ping/ms ===")
+        for row in run_signaling_sweep():
+            print(f"  {row['label']:<8} payload={row['payload']:>5}B  {row['mbps']:6.2f} Mbps")
+
+    if args.json:
+        document = {
+            "experiment": "fig7",
+            "transport": "inproc" if args.inproc else "tcp",
+            "traced": args.traced,
+            "pings": args.pings,
+            "results": [result.to_row() for result in results],
+        }
+        if args.traced:
+            # Spans of the last configuration (disable() keeps them);
+            # stage histograms per configuration live in each result.
+            document["trace"] = trace_mod.TRACER.snapshot()
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"wrote {args.json}")
 
 
 if __name__ == "__main__":

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional
+
+from repro.metrics import trace as trace_mod
 
 from repro.baselines.oran import HwXapp, OranRic, StatsXapp
 from repro.controllers.monitoring import StatsMonitorIApp
@@ -42,10 +44,12 @@ class TwoHopRtt:
     label: str
     payload: int
     summary: Summary
+    #: per-stage latency snapshots on traced runs (see fig7.RttResult).
+    stages: Optional[Dict[str, dict]] = None
 
 
 def run_flexric_two_hop(
-    codec: str, payload: int, pings: int = 30
+    codec: str, payload: int, pings: int = 30, traced: bool = False
 ) -> TwoHopRtt:
     """Ping through a relaying controller over localhost TCP.
 
@@ -53,8 +57,14 @@ def run_flexric_two_hop(
     selector loop driven inline from this thread, so the RTT reflects
     socket and codec costs rather than Python thread-wakeup jitter —
     the same methodology as the Fig. 7 single-hop measurement.
+
+    With ``traced`` the stage histograms cover the measured pings
+    across *both* hops — each ping shows two send/recv/decode cycles,
+    which is how the two-hop decomposition maps onto Fig. 9a.
     """
     transport = TcpTransport()
+    if traced:
+        trace_mod.enable()
     try:
         relay = RelayController(
             transport,
@@ -70,12 +80,12 @@ def run_flexric_two_hop(
         )
         agent.register_function(hw.HwRanFunction(sm_codec=codec))
         agent.connect_async(relay_address)
-        deadline = time.time() + 5.0
+        deadline = time.monotonic() + 5.0
         # Southbound hop first: the relay can only admit the upstream
         # subscription once it has learned the agent's RAN functions.
         while relay.south_function(hw.INFO.oid) is None:
             transport.step(0.05)
-            if time.time() > deadline:
+            if time.monotonic() > deadline:
                 raise TimeoutError("southbound E2 setup did not complete")
 
         upstream = Server(ServerConfig(e2ap_codec=codec))
@@ -85,7 +95,7 @@ def run_flexric_two_hop(
         relay.connect_upstream_async(upstream_listener.address)
         while not pinger.subscribed.is_set():
             transport.step(0.05)
-            if time.time() > deadline:
+            if time.monotonic() > deadline:
                 raise TimeoutError("two-hop subscription did not complete")
 
         pump = lambda: transport.step(0.05)
@@ -93,13 +103,20 @@ def run_flexric_two_hop(
         for _ in range(10):  # warm-up: sockets, codec caches, allocator
             pinger.ping(data, pump=pump)
         pinger.rtts_us.clear()
+        if traced:
+            trace_mod.reset()
         for _ in range(pings):
             pinger.ping(data, pump=pump)
         return TwoHopRtt(
-            label=f"FlexRIC {codec}/{codec}", payload=payload, summary=summarize(pinger.rtts_us)
+            label=f"FlexRIC {codec}/{codec}",
+            payload=payload,
+            summary=summarize(pinger.rtts_us),
+            stages=trace_mod.TRACER.stage_breakdown() if traced else None,
         )
     finally:
         transport.stop()
+        if traced:
+            trace_mod.disable()
 
 
 def run_oran_two_hop(payload: int, pings: int = 30) -> TwoHopRtt:
@@ -132,9 +149,9 @@ def run_oran_two_hop(payload: int, pings: int = 30) -> TwoHopRtt:
         for index in range(pings + 3):
             expected = len(xapp.rtts_us) + 1
             xapp.ping(meids[0], function_id, data)
-            deadline = time.time() + 5.0
+            deadline = time.monotonic() + 5.0
             while len(xapp.rtts_us) < expected:
-                if time.time() > deadline:
+                if time.monotonic() > deadline:
                     raise TimeoutError("O-RAN ping timed out")
                 time.sleep(0.0001)
         return TwoHopRtt(label="O-RAN RIC", payload=payload, summary=summarize(xapp.rtts_us[3:]))

@@ -27,7 +27,7 @@ def _banner(title: str) -> None:
 
 def main(argv=None) -> None:
     quick = "--quick" in (argv if argv is not None else sys.argv[1:])
-    started = time.time()
+    started = time.monotonic()
 
     _banner("Fig. 6: agent overhead in the user plane (§5.1)")
     for result in fig6.run_fig6a(duration_s=0.5 if quick else 2.0):
@@ -107,7 +107,7 @@ def main(argv=None) -> None:
     print(f"  dedicated A while B idle vs busy: {a_idle:.1f} vs {a_busy:.1f} Mbps (no gain)")
 
     print()
-    print(f"all experiments regenerated in {time.time() - started:.0f} s")
+    print(f"all experiments regenerated in {time.monotonic() - started:.0f} s")
 
 
 if __name__ == "__main__":

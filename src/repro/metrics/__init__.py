@@ -8,37 +8,58 @@ This package provides the probes that replace the paper's testbed tools
 * :mod:`repro.metrics.cpu` — process-time based CPU accounting.
 * :mod:`repro.metrics.memory` — byte-level accounting of component state.
 * :mod:`repro.metrics.stats` — percentiles, CDFs and summary statistics.
-* :mod:`repro.metrics.counters` — named monotonic counters (cache
-  hit/miss rates and similar hot-path diagnostics).
+* :mod:`repro.metrics.counters` — named monotonic counters, gauges
+  and fixed-bucket latency histograms (cache hit/miss rates and
+  similar hot-path diagnostics).
+* :mod:`repro.metrics.trace` — span-based tracing of E2AP procedures
+  with per-stage latency histograms (the Fig. 7/9 decomposition).
 """
 
 from repro.metrics.counters import (
     Counter,
     Gauge,
+    Histogram,
     counter_values,
+    discard_gauge,
     gauge_values,
     get_counter,
     get_gauge,
+    get_histogram,
+    histogram_values,
+    reset_all,
     reset_counters,
+    reset_gauges,
+    reset_histograms,
+    snapshot,
 )
 from repro.metrics.cpu import CpuMeter, CpuSample
 from repro.metrics.memory import MemoryMeter, deep_sizeof
 from repro.metrics.stats import Summary, cdf, percentile, summarize
+from repro.metrics import trace
 
 __all__ = [
     "Counter",
     "CpuMeter",
     "CpuSample",
     "Gauge",
+    "Histogram",
     "MemoryMeter",
     "Summary",
     "cdf",
     "counter_values",
     "deep_sizeof",
+    "discard_gauge",
     "gauge_values",
     "get_counter",
     "get_gauge",
+    "get_histogram",
+    "histogram_values",
     "percentile",
+    "reset_all",
     "reset_counters",
+    "reset_gauges",
+    "reset_histograms",
+    "snapshot",
     "summarize",
+    "trace",
 ]

@@ -5,6 +5,11 @@ increment under racing threads skews a diagnostic number, never
 correctness, and keeping ``incr`` to one integer add keeps the probes
 cheap enough to live on the codec hot path.
 
+:class:`Gauge` (point-in-time values) and :class:`Histogram`
+(fixed-bucket latency distributions) share the same registry
+discipline; :func:`reset_all` zeroes all three families at once so
+repeated in-process experiment runs start from a clean slate.
+
 Example:
     >>> hits = get_counter("demo.hits")
     >>> hits.incr()
@@ -14,7 +19,8 @@ Example:
 
 from __future__ import annotations
 
-from typing import Dict
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 class Counter:
@@ -56,8 +62,97 @@ class Gauge:
         return f"Gauge({self.name!r}, value={self.value})"
 
 
+#: Default latency bucket upper edges in microseconds.  Roughly
+#: logarithmic from sub-microsecond codec work up to the 100 ms tail
+#: of a loaded CI runner; values past the last edge land in the
+#: implicit overflow bucket.
+DEFAULT_BUCKETS_US: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500,
+    1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+)
+
+
+class Histogram:
+    """Fixed-bucket distribution of latency observations.
+
+    Bucket edges are upper bounds (``value <= edge``); observations
+    past the last edge are counted in the overflow bucket.  ``observe``
+    is one bisect plus two adds — cheap enough for per-message use on
+    the traced hot paths.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "total")
+
+    def __init__(self, name: str, edges: Sequence[float] = DEFAULT_BUCKETS_US) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError(f"bucket edges must be ascending and non-empty: {edges!r}")
+        self.name = name
+        self.edges: Tuple[float, ...] = tuple(float(edge) for edge in edges)
+        self.counts: List[int] = [0] * (len(self.edges) + 1)  # last = overflow
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (``q`` in [0, 1]) from the buckets.
+
+        Linear interpolation inside the winning bucket; overflow
+        observations report the last finite edge (an admitted floor).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0.0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                if index >= len(self.edges):
+                    return self.edges[-1]
+                low = self.edges[index - 1] if index > 0 else 0.0
+                high = self.edges[index]
+                frac = (rank - seen) / bucket_count
+                return low + (high - low) * frac
+            seen += bucket_count
+        return self.edges[-1]
+
+    def snapshot(self) -> Dict:
+        """JSON-able view: totals plus per-bucket cumulative-free counts."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": [
+                [edge, count] for edge, count in zip(self.edges, self.counts)
+            ],
+            "overflow": self.counts[-1],
+        }
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
 _COUNTERS: Dict[str, Counter] = {}
 _GAUGES: Dict[str, Gauge] = {}
+_HISTOGRAMS: Dict[str, Histogram] = {}
 
 
 def get_gauge(name: str) -> Gauge:
@@ -91,3 +186,67 @@ def reset_counters(prefix: str = "") -> None:
     for name, counter in _COUNTERS.items():
         if name.startswith(prefix):
             counter.reset()
+
+
+def discard_gauge(name: str) -> None:
+    """Drop a gauge from the registry entirely.
+
+    Lifecycle gauges (e.g. a link's state) are discarded when the
+    tracked object reaches a terminal state, so a later experiment run
+    in the same process does not inherit ghost entries.
+    """
+    _GAUGES.pop(name, None)
+
+
+def reset_gauges(prefix: str = "") -> None:
+    """Zero all gauges whose name starts with ``prefix``."""
+    for name, gauge in _GAUGES.items():
+        if name.startswith(prefix):
+            gauge.value = 0
+
+
+def get_histogram(name: str, edges: Optional[Sequence[float]] = None) -> Histogram:
+    """Fetch (creating on first use) the histogram with ``name``.
+
+    ``edges`` applies only on creation; an existing histogram keeps its
+    bucket scheme (re-bucketing mid-run would corrupt the counts).
+    """
+    histogram = _HISTOGRAMS.get(name)
+    if histogram is None:
+        histogram = _HISTOGRAMS[name] = Histogram(
+            name, DEFAULT_BUCKETS_US if edges is None else edges
+        )
+    return histogram
+
+
+def histogram_values() -> Dict[str, Dict]:
+    """Snapshot of every registered histogram, keyed by name."""
+    return {name: histogram.snapshot() for name, histogram in _HISTOGRAMS.items()}
+
+
+def reset_histograms(prefix: str = "") -> None:
+    """Zero all histograms whose name starts with ``prefix``."""
+    for name, histogram in _HISTOGRAMS.items():
+        if name.startswith(prefix):
+            histogram.reset()
+
+
+def reset_all() -> None:
+    """Zero every counter, gauge and histogram in the registry.
+
+    Gauges are reset too (not just counters): repeated in-process
+    experiment runs must not inherit stale point-in-time state such as
+    a previous run's link lifecycle gauges.
+    """
+    reset_counters()
+    reset_gauges()
+    reset_histograms()
+
+
+def snapshot() -> Dict[str, Dict]:
+    """One JSON-able snapshot of all three metric families."""
+    return {
+        "counters": counter_values(),
+        "gauges": gauge_values(),
+        "histograms": histogram_values(),
+    }

@@ -9,7 +9,9 @@ two of those options for the specializations of §6:
 * :mod:`repro.northbound.rest` — a small JSON-over-HTTP server
   (stdlib ``http.server``) plus a curl-like client,
 * :mod:`repro.northbound.broker` — a Redis-style publish/subscribe
-  message broker.
+  message broker,
+* :mod:`repro.northbound.metrics_api` — observability routes exposing
+  the metrics registry and the E2AP procedure tracer (§9 of DESIGN.md).
 
 (The E2AP northbound is the agent library itself — see
 :mod:`repro.controllers.virtualization`; the RMR-style mesh lives with
@@ -17,6 +19,13 @@ the O-RAN baseline in :mod:`repro.baselines.oran.rmr`.)
 """
 
 from repro.northbound.broker import Broker, BrokerSubscription
+from repro.northbound.metrics_api import attach_metrics_routes
 from repro.northbound.rest import RestClient, RestServer
 
-__all__ = ["Broker", "BrokerSubscription", "RestClient", "RestServer"]
+__all__ = [
+    "Broker",
+    "BrokerSubscription",
+    "RestClient",
+    "RestServer",
+    "attach_metrics_routes",
+]

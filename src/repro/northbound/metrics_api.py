@@ -1,0 +1,62 @@
+"""Northbound observability routes.
+
+Exposes the metrics registry (counters, gauges, latency histograms)
+and the E2AP procedure tracer over the existing REST server, so the
+same "curl xApp" workflow of Table 4 can inspect where a deployment's
+latency goes without attaching a debugger:
+
+* ``GET  <prefix>``               — full registry snapshot
+* ``GET  <prefix>/histograms``    — latency histograms only
+* ``GET  <prefix>/trace``         — tracer snapshot (spans + stages)
+* ``GET  <prefix>/trace/stages``  — per-stage histogram summaries
+* ``POST <prefix>/trace/enable``  — turn tracing on
+* ``POST <prefix>/trace/disable`` — turn tracing off
+* ``POST <prefix>/trace/reset``   — drop spans + trace histograms
+* ``POST <prefix>/reset``         — reset the whole registry
+"""
+
+from __future__ import annotations
+
+from repro.metrics import counters
+from repro.metrics import trace as trace_mod
+from repro.northbound.rest import RestError, RestServer
+
+
+def attach_metrics_routes(server: RestServer, prefix: str = "/metrics") -> None:
+    """Register the observability routes on ``server``.
+
+    Route handlers run on the REST server's request threads; the
+    registries are process-global and the reads are snapshots, so no
+    coordination with the E2 hot path is needed.
+    """
+    prefix = prefix.rstrip("/")
+
+    def get_metrics(subpath: str, body):
+        if not subpath:
+            return counters.snapshot()
+        if subpath == "histograms":
+            return counters.histogram_values()
+        if subpath == "trace":
+            return trace_mod.TRACER.snapshot()
+        if subpath == "trace/stages":
+            return trace_mod.TRACER.stage_breakdown()
+        raise RestError(404, f"unknown metrics path: {subpath!r}")
+
+    def post_metrics(subpath: str, body):
+        if subpath == "trace/enable":
+            trace_mod.enable()
+            return {"enabled": True}
+        if subpath == "trace/disable":
+            trace_mod.disable()
+            return {"enabled": False}
+        if subpath == "trace/reset":
+            trace_mod.reset()
+            return {"reset": "trace"}
+        if subpath == "reset":
+            trace_mod.TRACER.clear()
+            counters.reset_all()
+            return {"reset": "all"}
+        raise RestError(404, f"unknown metrics action: {subpath!r}")
+
+    server.route("GET", prefix, get_metrics)
+    server.route("POST", prefix, post_metrics)

@@ -12,6 +12,7 @@
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -20,7 +21,8 @@ from repro.core.agent.ran_function import (
     RanFunction,
     SubscriptionHandle,
 )
-from repro.core.codec.base import get_codec, materialize
+from repro.core.codec.base import CodecError, get_codec, materialize
+from repro.metrics.counters import get_counter
 from repro.core.e2ap.ies import (
     RicActionAdmitted,
     RicActionDefinition,
@@ -49,6 +51,18 @@ def encode_payload(value: Any, codec_name: str) -> bytes:
 def decode_payload(data: bytes, codec_name: str) -> Any:
     """Decode an SM payload; lazy codecs return lazy views."""
     return get_codec(codec_name).decode(data)
+
+
+#: What a malformed SM payload can actually raise: codec rejections,
+#: missing/mistyped fields in the decoded tree, and truncated packed
+#: structs.  Containment handlers catch exactly these — a genuine bug
+#: (AttributeError, RecursionError, ...) must still propagate.
+DECODE_ERRORS = (CodecError, KeyError, TypeError, ValueError, struct.error)
+
+
+def count_contained_decode() -> None:
+    """Account one malformed payload rejected without harm."""
+    get_counter("decode.contained").incr()
 
 
 @dataclass(frozen=True)
@@ -136,7 +150,8 @@ class PeriodicReportFunction(RanFunction):
 
         try:
             trigger = PeriodicTrigger.from_bytes(event_trigger, self.sm_codec)
-        except Exception:
+        except DECODE_ERRORS:
+            count_contained_decode()
             return [], [
                 RicActionNotAdmitted(
                     action_id=action.action_id,

@@ -28,7 +28,14 @@ from repro.core.e2ap.ies import (
     RicActionNotAdmitted,
 )
 from repro.core.e2ap.procedures import Cause
-from repro.sm.base import PeriodicTrigger, SmInfo, decode_payload, encode_payload
+from repro.sm.base import (
+    DECODE_ERRORS,
+    PeriodicTrigger,
+    SmInfo,
+    count_contained_decode,
+    decode_payload,
+    encode_payload,
+)
 
 INFO = SmInfo(name="KPM", oid="1.3.6.1.4.1.53148.1.1.2.2", default_function_id=2)
 
@@ -133,7 +140,8 @@ class KpmFunction(RanFunction):
     ):
         try:
             trigger = PeriodicTrigger.from_bytes(event_trigger, self.sm_codec)
-        except Exception:
+        except DECODE_ERRORS:
+            count_contained_decode()
             return [], [
                 RicActionNotAdmitted(a.action_id, 0, Cause.CONTROL_MESSAGE_INVALID)
                 for a in actions
@@ -149,7 +157,8 @@ class KpmFunction(RanFunction):
                 continue
             try:
                 style, metrics = parse_action_definition(action.definition, self.sm_codec)
-            except Exception:
+            except DECODE_ERRORS:
+                count_contained_decode()
                 rejected.append(
                     RicActionNotAdmitted(action.action_id, 0, Cause.CONTROL_MESSAGE_INVALID)
                 )

@@ -38,7 +38,13 @@ from repro.core.e2ap.ies import (
 )
 from repro.core.e2ap.messages import RicIndicationKind
 from repro.core.e2ap.procedures import Cause
-from repro.sm.base import SmInfo, decode_payload, encode_payload
+from repro.sm.base import (
+    DECODE_ERRORS,
+    SmInfo,
+    count_contained_decode,
+    decode_payload,
+    encode_payload,
+)
 
 INFO = SmInfo(name="NI", oid="1.3.6.1.4.1.53148.1.1.2.3", default_function_id=3)
 
@@ -181,7 +187,8 @@ class NiFunction(RanFunction):
                 verdict = tree.get("verdict", POLICY_FORWARD) if hasattr(tree, "get") else (
                     tree["verdict"] if "verdict" in tree else POLICY_FORWARD
                 )
-            except Exception:
+            except DECODE_ERRORS:
+                count_contained_decode()
                 rejected.append(
                     RicActionNotAdmitted(action.action_id, 0, Cause.CONTROL_MESSAGE_INVALID)
                 )
