@@ -55,7 +55,13 @@ from repro.core.agent.multi_controller import ControllerRegistry, LinkState, UeC
 from repro.core.agent.ran_function import IndicationSink, RanFunction, SubscriptionHandle
 from repro.core.agent.reconnect import ReconnectPolicy, Scheduler, timer_scheduler
 from repro.core.e2ap.ies import RicActionDefinition
-from repro.core.transport.base import DisconnectReason, Endpoint, Transport, TransportEvents
+from repro.core.transport.base import (
+    ConnectTimeout,
+    DisconnectReason,
+    Endpoint,
+    Transport,
+    TransportEvents,
+)
 from repro.metrics.counters import discard_gauge, get_counter, get_gauge
 from repro.metrics.cpu import CpuMeter
 from repro.metrics.trace import TRACER as _TRACER
@@ -281,7 +287,13 @@ class Agent(IndicationSink):
         self._setup_ok[origin] = False
         try:
             endpoint = self.transport.connect(link.address, self._link_events(origin))
-        except (ConnectionError, OSError):
+        except (ConnectionError, OSError) as exc:
+            # A bounded connect timeout (TCP transport) is counted
+            # separately: it means the peer is reachable-but-silent
+            # rather than refusing, which reads differently in a
+            # post-mortem of a reconnect storm.
+            if isinstance(exc, ConnectTimeout):
+                get_counter("agent.reconnect.connect_timeout").incr()
             self._schedule_reconnect(origin, attempt + 1)
             return
         self._endpoints.setdefault(origin, endpoint)

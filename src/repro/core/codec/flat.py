@@ -91,6 +91,16 @@ _DIR_CACHE_FIELDS = 18  # bounds speculative-key size to ~128 octets
 _LIST_DIR_CACHE: Dict[bytes, Tuple[int, ...]] = {}
 _LIST_CACHE_ITEMS = 64
 
+#: Envelope window → ``(p_rel, c_rel, v_rel)`` route plan, derived from
+#: :data:`_DIR_CACHE` once per distinct envelope layout.  Saves the
+#: three per-call field-dict lookups on the batched ingest path.
+_ROUTE_CACHE: Dict[bytes, Tuple[int, int, int]] = {}
+
+#: Two adjacent ``tag + int64`` cells in one unpack; the encoder always
+#: lays consecutive int fields out back to back, so paired scalars
+#: (procedure + class, requestor + instance) read with one struct call.
+_PAIR = struct.Struct("<bqbq")
+
 
 class FlatCodec(Codec):
     """Byte-aligned, offset-indexed codec (registry name ``"fb"``)."""
@@ -121,6 +131,75 @@ class FlatCodec(Codec):
         # slice exactly the octets they return, so no memoryview
         # indirection is needed to stay zero-copy.
         return _lazy_value(data, _HEADER.size)
+
+    def decode_route(self, data: bytes) -> Tuple[int, int, Any]:
+        """One-pass envelope read for the server's batched ingest.
+
+        Returns ``(procedure, msg_class, body)`` — the three things the
+        server routes on — touching the buffer once: header check, one
+        directory-cache hit for the ``{p, c, v}`` envelope, two int
+        reads, one lazy view over the body.  Anything unexpected
+        (cold directory, long keys, non-dict root) falls back to the
+        generic :meth:`decode` walk, which also warms the cache.
+        """
+        try:
+            off = _HEADER.size
+            if (
+                len(data) > off + 5
+                and data[:2] == _MAGIC
+                and data[2] == _VERSION
+                and data[off] == base.TAG_DICT
+            ):
+                count = _U32.unpack_from(data, off + 1)[0]
+                if count <= _DIR_CACHE_FIELDS:
+                    window = data[off + 1:off + 5 + 7 * count]
+                    plan = _ROUTE_CACHE.get(window)
+                    if plan is None:
+                        fields = _DIR_CACHE.get(window)
+                        if (
+                            fields is not None
+                            and "p" in fields
+                            and "c" in fields
+                            and "v" in fields
+                        ):
+                            plan = (fields["p"], fields["c"], fields["v"])
+                            if len(_ROUTE_CACHE) < _DIR_CACHE_MAX:
+                                _ROUTE_CACHE[window] = plan
+                    if plan is not None:
+                        value_base = off + 5 + 7 * count
+                        p_rel, c_rel, v_rel = plan
+                        p_off = value_base + p_rel
+                        if c_rel == p_rel + 9:
+                            tag_p, proc, tag_c, cls = _PAIR.unpack_from(data, p_off)
+                        else:
+                            tag_p = data[p_off]
+                            tag_c = data[value_base + c_rel]
+                            proc = _I64.unpack_from(data, p_off + 1)[0]
+                            cls = _I64.unpack_from(data, value_base + c_rel + 1)[0]
+                        if tag_p == base.TAG_INT and tag_c == base.TAG_INT:
+                            v_off = value_base + v_rel
+                            body: Any = None
+                            if data[v_off] == base.TAG_DICT:
+                                v_count = _U32.unpack_from(data, v_off + 1)[0]
+                                if v_count <= _DIR_CACHE_FIELDS:
+                                    v_fields = _DIR_CACHE.get(
+                                        data[v_off + 1:v_off + 5 + 7 * v_count]
+                                    )
+                                    if v_fields is not None:
+                                        # Bypass FlatView.__init__: the
+                                        # directory is already parsed, so
+                                        # fill the slots directly.
+                                        body = FlatView.__new__(FlatView)
+                                        body._buf = data
+                                        body._base = v_off + 5 + 7 * v_count
+                                        body._fields = v_fields
+                            if body is None:
+                                body = _lazy_value(data, v_off)
+                            return proc, cls, body
+        except (KeyError, IndexError, struct.error):
+            pass
+        tree = self.decode(data)
+        return tree["p"], tree["c"], tree["v"]
 
 
 # -- encoding --------------------------------------------------------
@@ -296,7 +375,14 @@ class FlatListView:
         return len(self._rels)
 
     def __getitem__(self, index: int) -> Any:
-        return _lazy_value(self._buf, self._base + self._rels[index])
+        buf = self._buf
+        offset = self._base + self._rels[index]
+        tag = buf[offset]
+        if tag == base.TAG_INT:
+            return _I64.unpack_from(buf, offset + 1)[0]
+        if tag == base.TAG_DICT:
+            return FlatView(buf, offset)
+        return _lazy_value(buf, offset)
 
     def __iter__(self) -> Iterator[Any]:
         buf = self._buf
@@ -378,7 +464,48 @@ class FlatView:
         self._fields = fields
 
     def __getitem__(self, key: str) -> Any:
-        return _lazy_value(self._buf, self._base + self._fields[key])
+        # The three hottest tags are read inline: every E2AP header
+        # access is an int, bytes payload, or nested table, and the
+        # two extra call frames of the generic path cost more than the
+        # reads themselves on the indication hot path.
+        buf = self._buf
+        offset = self._base + self._fields[key]
+        tag = buf[offset]
+        if tag == base.TAG_INT:
+            return _I64.unpack_from(buf, offset + 1)[0]
+        if tag == base.TAG_BYTES:
+            size = _U32.unpack_from(buf, offset + 1)[0]
+            return buf[offset + 5:offset + 5 + size]
+        if tag == base.TAG_DICT:
+            count = _U32.unpack_from(buf, offset + 1)[0]
+            if count <= _DIR_CACHE_FIELDS:
+                sub = _DIR_CACHE.get(buf[offset + 1:offset + 5 + 7 * count])
+                if sub is not None:
+                    view = FlatView.__new__(FlatView)
+                    view._buf = buf
+                    view._base = offset + 5 + 7 * count
+                    view._fields = sub
+                    return view
+            return FlatView(buf, offset)
+        return _lazy_value(buf, offset)
+
+    def int_pair(self, key_a: str, key_b: str) -> Tuple[int, int]:
+        """Read two int fields, fused into one unpack when adjacent.
+
+        The encoder lays fields out in directory order, so pairs that
+        travel together (``r``/``i`` of a request id) are one struct
+        call apart; non-adjacent or non-int layouts fall back to two
+        ordinary reads.
+        """
+        fields = self._fields
+        value_base = self._base
+        buf = self._buf
+        a_off = value_base + fields[key_a]
+        if value_base + fields[key_b] == a_off + 9:
+            tag_a, val_a, tag_b, val_b = _PAIR.unpack_from(buf, a_off)
+            if tag_a == base.TAG_INT and tag_b == base.TAG_INT:
+                return val_a, val_b
+        return self[key_a], self[key_b]
 
     def get(self, key: str, default: Any = None) -> Any:
         if key in self._fields:

@@ -15,6 +15,7 @@ agents and iApps.  Design properties carried over from the paper:
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -92,6 +93,17 @@ class ServerConfig:
     #: unanswered keepalives tolerated before the node is declared
     #: silently dead and pushed down the stale path.
     keepalive_misses: int = 3
+    #: transport ingest shards (§4.4 multi-loop extension): number of
+    #: independent selector/dispatch loops a transport built through
+    #: :meth:`Server.create_transport` runs.  1 reproduces the paper's
+    #: single-threaded event loop exactly; the default scales with the
+    #: host but stays modest — ingest shards are I/O loops, not compute
+    #: workers.
+    shards: int = field(default_factory=lambda: min(4, os.cpu_count() or 1))
+
+
+#: hoisted: the indication hot loop compares against this constant.
+_IND_CODE = int(ProcedureCode.RIC_INDICATION)
 
 
 def _procedure_name(procedure: int) -> str:
@@ -125,10 +137,24 @@ class IndicationEvent:
     def _load_request(self) -> None:
         # Routing reads the request id at least twice per indication
         # (subscription lookup, then the iApp); resolve the lazy "q"
-        # table once and keep the scalars.
+        # table once and keep the scalars.  Flat views read both ints
+        # with one fused unpack; plain-dict codecs take the dict path.
         request = self._body["q"]
-        self._requestor = request["r"]
-        self._instance = request["i"]
+        if request.__class__ is dict:
+            self._requestor = request["r"]
+            self._instance = request["i"]
+            return
+        try:
+            self._requestor, self._instance = request.int_pair("r", "i")
+        except AttributeError:
+            self._requestor = request["r"]
+            self._instance = request["i"]
+
+    def route_key(self) -> Tuple[int, int]:
+        """``(requestor, instance)`` — the submgr routing key."""
+        if self._requestor is None:
+            self._load_request()
+        return (self._requestor, self._instance)
 
     @property
     def requestor_id(self) -> int:
@@ -190,6 +216,9 @@ class _ConnState:
     last_seen: float = 0.0
     #: keepalive queries sent since ``last_seen`` moved.
     pending_queries: int = 0
+    #: cached ``server.shard.N.rx`` counter for this connection's
+    #: transport shard (resolved lazily on the first batch delivery).
+    rx_counter: Any = None
 
 
 @dataclass
@@ -215,6 +244,9 @@ class Server:
         #: with a fake time source; production uses ``time.monotonic``).
         self.time_fn = time_fn
         self.codec: Codec = get_codec(self.config.e2ap_codec)
+        #: one-pass (procedure, class, body) extraction for the batched
+        #: ingest; codecs without a fast path fall back to a full walk.
+        self._decode_route = getattr(self.codec, "decode_route", self._generic_route)
         self._node_label = f"ric-{self.config.ric_id}"
         self.cpu = cpu_meter or CpuMeter(f"server-{self.config.ric_id}")
         self.memory = MemoryMeter(f"server-{self.config.ric_id}")
@@ -231,6 +263,16 @@ class Server:
         self._control_instances = itertools.count(1)
         self._listeners: List[Listener] = []
         self._lock = threading.Lock()
+        #: copy-on-write routing snapshots (see ``_rebuild_routes``):
+        #: read lock-free on the per-message hot paths, replaced under
+        #: ``_lock`` whenever connection state changes.
+        self._route_by_endpoint: Dict[int, _ConnState] = {}
+        self._route_conns: Dict[int, _ConnState] = {}
+        #: serializes the stateful slow path (setup, subscription
+        #: outcomes, lifecycle) across transport shard threads.  The
+        #: indication hot path never takes it.  Always acquired
+        #: *outside* ``_lock``.
+        self._slow_lock = threading.RLock()
         #: stale nodes awaiting re-attachment, keyed by node identity.
         self._stale: Dict[GlobalE2NodeId, _StaleNode] = {}
         self._liveness_thread: Optional[threading.Thread] = None
@@ -256,10 +298,30 @@ class Server:
                 on_connected=self._on_connected,
                 on_message=self._on_message,
                 on_disconnected=self._on_disconnected,
+                on_messages=self._on_messages,
             ),
         )
         self._listeners.append(listener)
         return listener
+
+    def create_transport(self, kind: str = "tcp") -> Transport:
+        """Build a transport honoring ``config.shards``.
+
+        Convenience for deployments and the scale harness: the shard
+        knob lives in :class:`ServerConfig` so one config object fully
+        describes the ingest topology.
+        """
+        if kind == "tcp":
+            from repro.core.transport.tcp import TcpTransport
+
+            return TcpTransport(
+                shards=self.config.shards, reuseport=self.config.shards > 1
+            )
+        if kind == "inproc":
+            from repro.core.transport.inproc import InProcTransport
+
+            return InProcTransport(shards=self.config.shards)
+        raise ValueError(f"unknown transport kind: {kind!r}")
 
     def add_iapp(self, iapp: IApp) -> None:
         """Attach an internal application."""
@@ -391,6 +453,18 @@ class Server:
 
     # -- transport events ----------------------------------------------
 
+    def _rebuild_routes(self) -> None:
+        """Publish fresh routing snapshots; callers hold ``_lock``.
+
+        The snapshots are plain dicts that are *replaced*, never
+        mutated, so shard threads may read them without locking (a
+        dict-reference load is atomic under the GIL).  A reader racing
+        a rebuild sees the previous snapshot — the same window a
+        message already in flight during a disconnect always had.
+        """
+        self._route_by_endpoint = dict(self._by_endpoint)
+        self._route_conns = dict(self._conns)
+
     def _on_connected(self, endpoint: Endpoint) -> None:
         state = _ConnState(
             conn_id=next(self._conn_ids),
@@ -400,17 +474,20 @@ class Server:
         with self._lock:
             self._conns[state.conn_id] = state
             self._by_endpoint[id(endpoint)] = state
+            self._rebuild_routes()
 
     def _on_disconnected(
         self, endpoint: Endpoint, reason: Optional[DisconnectReason] = None
     ) -> None:
-        with self._lock:
-            state = self._by_endpoint.pop(id(endpoint), None)
-            if state is not None:
-                self._conns.pop(state.conn_id, None)
-        if state is None or state.record is None:
-            return
-        self._node_lost(state.record, state.conn_id, reason)
+        with self._slow_lock:
+            with self._lock:
+                state = self._by_endpoint.pop(id(endpoint), None)
+                if state is not None:
+                    self._conns.pop(state.conn_id, None)
+                self._rebuild_routes()
+            if state is None or state.record is None:
+                return
+            self._node_lost(state.record, state.conn_id, reason)
 
     def _node_lost(
         self,
@@ -447,7 +524,7 @@ class Server:
         self.events.publish(topics.NODE_STALE, record)
 
     def _on_message(self, endpoint: Endpoint, data: bytes) -> None:
-        state = self._by_endpoint.get(id(endpoint))
+        state = self._route_by_endpoint.get(id(endpoint))
         if state is None:
             return
         # Any traffic proves the agent alive: reset the keepalive state.
@@ -499,7 +576,61 @@ class Server:
                 return
             self._handle_slow_path(state, procedure, msg_class, tree["v"])
 
+    def _generic_route(self, data: bytes) -> Tuple[int, int, Any]:
+        tree = self.codec.decode(data)
+        return tree["p"], tree["c"], tree["v"]
+
+    def _on_messages(self, endpoint: Endpoint, batch: Sequence[bytes]) -> None:
+        """Batched delivery from a sharded transport (drain-and-batch).
+
+        The per-message path pays a liveness-bookkeeping write, a CPU
+        measurement context and a tracer check for every frame; a
+        drained burst pays each of those once.  With tracing enabled
+        the batch falls back to the per-message path so the recorded
+        span sequence is identical to the single-loop transport.
+        """
+        if _TRACER.enabled:
+            for data in batch:
+                self._on_message(endpoint, data)
+            return
+        state = self._route_by_endpoint.get(id(endpoint))
+        if state is None:
+            return
+        state.last_seen = self.time_fn()
+        state.pending_queries = 0
+        if state.rx_counter is None:
+            shard = getattr(endpoint, "shard", 0)
+            state.rx_counter = get_counter(f"server.shard.{shard}.rx")
+        state.rx_counter.incr(len(batch))
+        # Hot loop: every name the loop touches is a local.
+        route = self._decode_route
+        deliver = self.submgr.deliver_indication
+        pool = self._pool
+        conn_id = state.conn_id
+        with self.cpu.measure():
+            for data in batch:
+                try:
+                    procedure, msg_class, body = route(data)
+                except (CodecError, KeyError, TypeError, ValueError):
+                    get_counter("server.rx.decode_error").incr()
+                    get_counter("decode.contained").incr()
+                    continue
+                if procedure == _IND_CODE:
+                    event = IndicationEvent(conn_id, body)
+                    if pool is not None:
+                        pool.submit(deliver, event)
+                    else:
+                        deliver(event)
+                    continue
+                self._handle_slow_path(state, procedure, msg_class, body)
+
     def _handle_slow_path(
+        self, state: _ConnState, procedure: int, msg_class: int, body: Any
+    ) -> None:
+        with self._slow_lock:
+            self._handle_slow_path_locked(state, procedure, msg_class, body)
+
+    def _handle_slow_path_locked(
         self, state: _ConnState, procedure: int, msg_class: int, body: Any
     ) -> None:
         if procedure == int(ProcedureCode.E2_SETUP):
@@ -560,6 +691,7 @@ class Server:
                 old = self._conns.pop(existing.conn_id, None)
                 if old is not None:
                     self._by_endpoint.pop(id(old.endpoint), None)
+                self._rebuild_routes()
             if old is not None and not old.endpoint.closed:
                 try:
                     old.endpoint.close()
@@ -652,6 +784,10 @@ class Server:
         stale nodes whose grace window ran out.
         """
         now = self.time_fn() if now is None else now
+        with self._slow_lock:
+            return self._keepalive_tick_locked(now)
+
+    def _keepalive_tick_locked(self, now: float) -> int:
         sent = 0
         if self.config.keepalive_interval_s > 0:
             for state in list(self._conns.values()):
@@ -688,6 +824,7 @@ class Server:
         with self._lock:
             self._by_endpoint.pop(id(state.endpoint), None)
             self._conns.pop(state.conn_id, None)
+            self._rebuild_routes()
         try:
             if not state.endpoint.closed:
                 state.endpoint.close()
@@ -786,7 +923,7 @@ class Server:
     # -- internals ------------------------------------------------------
 
     def _send(self, conn_id: int, message: E2Message) -> None:
-        state = self._conns.get(conn_id)
+        state = self._route_conns.get(conn_id)
         if state is None or state.endpoint.closed:
             raise ConnectionError(f"no live agent connection {conn_id}")
         if _TRACER.enabled:
@@ -798,7 +935,7 @@ class Server:
     def _send_batch(self, conn_id: int, messages: Sequence[E2Message]) -> None:
         if not messages:
             return
-        state = self._conns.get(conn_id)
+        state = self._route_conns.get(conn_id)
         if state is None or state.endpoint.closed:
             raise ConnectionError(f"no live agent connection {conn_id}")
         if _TRACER.enabled:

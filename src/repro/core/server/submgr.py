@@ -6,11 +6,22 @@ key is the RIC request id the server minted for the subscription; with
 the FlatBuffers-style codec the server reads that key zero-copy from
 the raw indication bytes, which is the mechanism behind the 4x CPU gap
 of Fig. 8b.
+
+Concurrency model (sharded ingest): the indication hot path runs on
+several transport shard threads at once, so routing reads a
+*copy-on-write snapshot* dict without taking any lock — replacing a
+dict reference is atomic under the GIL.  Every mutation (create,
+confirm-side removal, park/adopt, drop) happens on the slow path under
+``_lock`` and finishes by publishing a rebuilt snapshot.  A reader may
+briefly observe the previous snapshot — at worst an indication routes
+to a record that was just removed or misses one that was just created,
+the same races a network reordering already produces.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -71,6 +82,14 @@ class SubscriptionManager:
         self.requestor_id = requestor_id
         self._instance_ids = itertools.count(1)
         self._records: Dict[Tuple[int, int], SubscriptionRecord] = {}
+        #: copy-on-write routing snapshot: replaced (never mutated in
+        #: place) under ``_lock``, read lock-free on the hot path.
+        self._route: Dict[Tuple[int, int], SubscriptionRecord] = {}
+        self._lock = threading.RLock()
+
+    def _publish(self) -> None:
+        """Rebuild the routing snapshot; callers hold ``_lock``."""
+        self._route = dict(self._records)
 
     def create(
         self,
@@ -99,12 +118,14 @@ class SubscriptionManager:
             actions=list(actions or ()),
             event_trigger=bytes(event_trigger),
         )
-        self._records[request.as_tuple()] = record
+        with self._lock:
+            self._records[request.as_tuple()] = record
+            self._publish()
         return record
 
     def lookup(self, requestor_id: int, instance_id: int) -> Optional[SubscriptionRecord]:
-        """O(1) dispatch lookup on the indication hot path."""
-        return self._records.get((requestor_id, instance_id))
+        """O(1) lock-free dispatch lookup on the indication hot path."""
+        return self._route.get((requestor_id, instance_id))
 
     def confirm(self, response: RicSubscriptionResponse) -> Optional[SubscriptionRecord]:
         record = self._records.get(response.request.as_tuple())
@@ -116,7 +137,9 @@ class SubscriptionManager:
         return record
 
     def fail(self, failure: RicSubscriptionFailure) -> Optional[SubscriptionRecord]:
-        record = self._records.pop(failure.request.as_tuple(), None)
+        with self._lock:
+            record = self._records.pop(failure.request.as_tuple(), None)
+            self._publish()
         if record is None:
             return None
         if record.callbacks.on_failure is not None:
@@ -134,7 +157,11 @@ class SubscriptionManager:
         """
         tracer = _TRACER
         trace_start = time.perf_counter() if tracer.enabled else 0.0
-        record = self._records.get((event.requestor_id, event.instance_id))
+        try:
+            key = event.route_key()
+        except AttributeError:
+            key = (event.requestor_id, event.instance_id)
+        record = self._route.get(key)
         if record is None:
             return None
         record.indications_seen += 1
@@ -144,16 +171,21 @@ class SubscriptionManager:
             tracer.record(
                 "dispatch",
                 trace_start,
-                (event.requestor_id, event.instance_id),
+                key,
                 procedure="ric_indication",
             )
         return record
 
     def remove(self, request: RicRequestId) -> Optional[SubscriptionRecord]:
-        return self._records.pop(request.as_tuple(), None)
+        with self._lock:
+            record = self._records.pop(request.as_tuple(), None)
+            self._publish()
+        return record
 
     def deleted(self, response: RicSubscriptionDeleteResponse) -> Optional[SubscriptionRecord]:
-        record = self._records.pop(response.request.as_tuple(), None)
+        with self._lock:
+            record = self._records.pop(response.request.as_tuple(), None)
+            self._publish()
         if record is not None and record.callbacks.on_deleted is not None:
             record.callbacks.on_deleted(response)
         return record
@@ -163,9 +195,11 @@ class SubscriptionManager:
 
     def drop_conn(self, conn_id: int) -> int:
         """Purge all subscriptions of a vanished agent; returns count."""
-        keys = [key for key, record in self._records.items() if record.conn_id == conn_id]
-        for key in keys:
-            del self._records[key]
+        with self._lock:
+            keys = [key for key, record in self._records.items() if record.conn_id == conn_id]
+            for key in keys:
+                del self._records[key]
+            self._publish()
         return len(keys)
 
     # -- stale-node lifecycle (server resync) -------------------------
@@ -179,24 +213,28 @@ class SubscriptionManager:
         outage.  Returns the records parked now.
         """
         parked = []
-        for record in self._records.values():
-            if record.conn_id == conn_id and not record.parked:
-                record.parked = True
-                record.confirmed = False
-                parked.append(record)
+        with self._lock:
+            for record in self._records.values():
+                if record.conn_id == conn_id and not record.parked:
+                    record.parked = True
+                    record.confirmed = False
+                    parked.append(record)
         return parked
 
     def adopt(self, records: List[SubscriptionRecord], new_conn_id: int) -> None:
         """Re-home parked records onto the recovered node's connection."""
-        for record in records:
-            record.conn_id = new_conn_id
-            record.parked = False
-            record.resyncs += 1
+        with self._lock:
+            for record in records:
+                record.conn_id = new_conn_id
+                record.parked = False
+                record.resyncs += 1
 
     def terminal_fail(self, record: SubscriptionRecord, failure: RicSubscriptionFailure) -> None:
         """Grace expired: remove the record and tell its iApp the
         subscription is gone for good."""
-        self._records.pop(record.request.as_tuple(), None)
+        with self._lock:
+            self._records.pop(record.request.as_tuple(), None)
+            self._publish()
         if record.callbacks.on_failure is not None:
             record.callbacks.on_failure(failure)
 

@@ -15,6 +15,7 @@ E2AP is *ordered, reliable message boundaries*; this package provides:
 """
 
 from repro.core.transport.base import (
+    ConnectTimeout,
     DisconnectReason,
     Endpoint,
     Listener,
@@ -27,6 +28,7 @@ from repro.core.transport.inproc import InProcTransport
 from repro.core.transport.tcp import TcpTransport
 
 __all__ = [
+    "ConnectTimeout",
     "DisconnectReason",
     "Endpoint",
     "Listener",

@@ -29,9 +29,25 @@ class DisconnectReason:
     PROTOCOL = "protocol"        # framing/protocol violation
     INJECTED = "injected"        # fault-injection kill (FaultyTransport)
     KEEPALIVE = "keepalive"      # liveness probe declared the peer dead
+    CONNECT_TIMEOUT = "connect_timeout"  # bounded connect() gave up
 
     def __str__(self) -> str:
         return f"{self.code}({self.detail})" if self.detail else self.code
+
+
+class ConnectTimeout(ConnectionError):
+    """A bounded ``Transport.connect`` gave up on a silent peer.
+
+    Distinguished from a refused connection so the agent's reconnect
+    path can count black-holed addresses separately; carries the
+    matching :class:`DisconnectReason` for callers that propagate one.
+    """
+
+    def __init__(self, message: str, reason: Optional[DisconnectReason] = None) -> None:
+        super().__init__(message)
+        self.reason = reason or DisconnectReason(
+            DisconnectReason.CONNECT_TIMEOUT, message
+        )
 
 
 def _adapt_disconnect(callback: Optional[Callable]) -> Callable:
@@ -93,8 +109,15 @@ class TransportEvents:
 
     All callbacks are optional; unset ones are ignored.  Callbacks run
     on the transport's dispatch context (the caller of ``step`` for
-    in-process, the I/O thread for TCP), mirroring the single-threaded
-    event-driven design of the SDK (§4.4).
+    in-process, the owning shard's I/O thread for TCP), mirroring the
+    single-threaded event-driven design of the SDK (§4.4).
+
+    ``on_messages`` is the receive-side batch hook: a transport that
+    drained several complete frames in one wakeup hands them over as
+    one call, letting the receiver amortize per-frame overhead (lock
+    acquisition, CPU accounting, trace spans).  Receivers that do not
+    set it get the classic per-frame ``on_message`` stream; transports
+    route through :meth:`deliver` so both kinds keep working.
     """
 
     def __init__(
@@ -102,12 +125,28 @@ class TransportEvents:
         on_connected: Optional[Callable[[Endpoint], None]] = None,
         on_message: Optional[Callable[[Endpoint, bytes], None]] = None,
         on_disconnected: Optional[Callable] = None,
+        on_messages: Optional[Callable[[Endpoint, Sequence[bytes]], None]] = None,
     ) -> None:
         self.on_connected = on_connected or (lambda endpoint: None)
         self.on_message = on_message or (lambda endpoint, data: None)
+        self.on_messages = on_messages
         # ``on_disconnected`` receives ``(endpoint, reason)``; one-arg
         # callbacks are adapted so pre-resilience code keeps working.
         self.on_disconnected = _adapt_disconnect(on_disconnected)
+
+    def deliver(self, endpoint: Endpoint, batch: Sequence[bytes]) -> None:
+        """Hand a drained batch to the receiver, batched if supported.
+
+        Per-connection ordering is preserved either way: the batch is
+        in arrival order and ``on_message`` fallback iterates it.
+        """
+        if not batch:
+            return
+        if self.on_messages is not None:
+            self.on_messages(endpoint, batch)
+            return
+        for data in batch:
+            self.on_message(endpoint, data)
 
 
 class Listener(ABC):

@@ -190,6 +190,11 @@ class _FaultyEndpoint(Endpoint):
         return self._inner.peer
 
     @property
+    def shard(self) -> int:
+        """Shard index of the wrapped endpoint (0 for unsharded)."""
+        return getattr(self._inner, "shard", 0)
+
+    @property
     def closed(self) -> bool:
         return self._killed or self._inner.closed
 
@@ -270,11 +275,19 @@ class FaultyTransport(Transport):
             wrapper._killed = True
             user.on_disconnected(wrapper, reason)
 
-        return TransportEvents(
+        wrapped = TransportEvents(
             on_connected=on_connected,
             on_message=on_message,
             on_disconnected=on_disconnected,
         )
+        if user.on_messages is not None:
+            # Batch deliveries from a sharded inner transport surface
+            # the same wrapper endpoint and stay batched; faults were
+            # already applied per message on the send side.
+            wrapped.on_messages = lambda inner, batch: user.on_messages(
+                self._wrapper(inner, user), batch
+            )
+        return wrapped
 
     def endpoints(self) -> List[_FaultyEndpoint]:
         """Live wrappers (diagnostics / targeted kills in tests)."""
@@ -299,3 +312,11 @@ class FaultyTransport(Transport):
     def step(self, timeout: float = 0.0) -> int:
         step = getattr(self.inner, "step", None)
         return step(timeout) if step is not None else 0
+
+    def quiesce(self, timeout: float = 5.0) -> bool:
+        quiesce = getattr(self.inner, "quiesce", None)
+        return quiesce(timeout) if quiesce is not None else True
+
+    def shard_stats(self) -> List[dict]:
+        stats = getattr(self.inner, "shard_stats", None)
+        return stats() if stats is not None else []

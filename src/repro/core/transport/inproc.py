@@ -5,18 +5,29 @@ zero I/O, preserving message boundaries and the event-callback flow of
 the TCP transport.  Used by the discrete-event experiments (where
 simulated time must not depend on socket scheduling) and by most tests.
 
-Delivery model: ``send`` enqueues the message on a per-transport
-dispatch queue which is drained immediately unless a dispatch is
-already running.  This keeps callback nesting flat — a request/response
-ping-pong of any depth uses O(1) stack — while remaining fully
-synchronous and deterministic.
+Delivery model (default, ``shards=0``): ``send`` enqueues the message
+on a per-transport dispatch queue which is drained immediately unless
+a dispatch is already running.  This keeps callback nesting flat — a
+request/response ping-pong of any depth uses O(1) stack — while
+remaining fully synchronous and deterministic.
+
+Sharded mode (``shards>=2``) mirrors the TCP transport's multi-loop
+ingest: each shard owns a queue and a worker thread, connections are
+assigned to shards round-robin at connect time (both ends of a pair
+share a shard, preserving per-connection ordering), and a worker
+drains everything queued per wakeup and delivers consecutive frames
+for the same endpoint as one ``on_messages`` batch.  ``shards=1`` is
+an alias for the synchronous single-loop default so the two transports
+expose the same knob with the same "1 == today's behaviour" contract.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.transport.base import (
     DisconnectReason,
@@ -25,6 +36,7 @@ from repro.core.transport.base import (
     Transport,
     TransportEvents,
 )
+from repro.metrics.counters import get_gauge
 from repro.metrics.trace import TRACER as _TRACER
 
 
@@ -37,6 +49,9 @@ class _InProcEndpoint(Endpoint):
         self._events = events
         self._other: Optional["_InProcEndpoint"] = None
         self._closed = False
+        #: index of the dispatch shard this connection is pinned to
+        #: (0 in the synchronous single-loop mode).
+        self.shard = 0
         #: optional hook: bytes sent through this endpoint, for
         #: signaling-rate accounting (Fig. 7b) without packet capture.
         self.bytes_sent = 0
@@ -55,6 +70,9 @@ class _InProcEndpoint(Endpoint):
         self.bytes_sent += len(data)
         self.messages_sent += 1
         other = self._other
+        if self._transport._sharded:
+            self._transport._post_messages(self.shard, other, [bytes(data)])
+            return
         tracer = _TRACER
         if tracer.enabled:
             # Time only the hand-off (the transport's own cost); the
@@ -84,13 +102,16 @@ class _InProcEndpoint(Endpoint):
             frozen.append(bytes(data))
         self.messages_sent += len(frozen)
         other = self._other
+        if self._transport._sharded:
+            self._transport._post_messages(self.shard, other, frozen)
+            return
 
         def deliver() -> None:
-            for data in frozen:
-                other._events.on_message(other, data)
+            other._events.deliver(other, frozen)
 
         # One queue entry for the batch mirrors the TCP transport's
-        # single coalesced write; delivery stays one message at a time.
+        # single coalesced write; a receiver without the batch hook
+        # still sees one message at a time.
         tracer = _TRACER
         if tracer.enabled:
             start = time.perf_counter()
@@ -108,7 +129,12 @@ class _InProcEndpoint(Endpoint):
         if other is not None and not other._closed:
             # The peer observes an orderly EOF, exactly like TCP.
             reason = DisconnectReason(DisconnectReason.EOF)
-            self._transport._enqueue(lambda: other._signal_disconnect(reason))
+            if self._transport._sharded:
+                self._transport._post_control(
+                    self.shard, lambda: other._signal_disconnect(reason)
+                )
+            else:
+                self._transport._enqueue(lambda: other._signal_disconnect(reason))
 
     def _signal_disconnect(self, reason: Optional[DisconnectReason] = None) -> None:
         if not self._closed:
@@ -143,6 +169,39 @@ class _InProcListener(Listener):
         return self._address
 
 
+#: queue item: (target endpoint, frames) for traffic or (None, thunk)
+#: for control events (connects/disconnects), which must stay ordered
+#: with the traffic around them.
+_ShardItem = Tuple[Optional[_InProcEndpoint], object]
+
+
+class _InProcShard:
+    """One dispatch loop of the sharded in-process transport."""
+
+    def __init__(self, transport: "InProcTransport", index: int) -> None:
+        self.index = index
+        self.queue: Deque[_ShardItem] = deque()
+        self.cond = threading.Condition()
+        self.running = True
+        self.busy = False
+        #: True only while the worker is parked in ``cond.wait`` (set
+        #: under the lock just before checking the queue).  Senders
+        #: append lock-free and only take the lock to wake an idle
+        #: worker, so the steady-state send path costs one deque
+        #: append instead of a full Condition cycle.
+        self.idle = False
+        self.rx_messages = 0
+        self.connections = 0
+        self.depth_gauge = get_gauge(f"inproc.shard.{index}.depth")
+        self.thread = threading.Thread(
+            target=transport._shard_run,
+            args=(self,),
+            name=f"inproc-shard-{index}",
+            daemon=True,
+        )
+        self.thread.start()
+
+
 class InProcTransport(Transport):
     """Loopback transport with named listening addresses.
 
@@ -158,10 +217,24 @@ class InProcTransport(Transport):
 
     name = "inproc"
 
-    def __init__(self) -> None:
+    def __init__(self, shards: int = 0) -> None:
+        if shards < 0:
+            raise ValueError(f"shards must be >= 0, got {shards}")
         self._listeners: Dict[str, TransportEvents] = {}
         self._queue: Deque[Callable[[], None]] = deque()
         self._dispatching = False
+        # shards in {0, 1}: the synchronous deterministic single loop
+        # (today's behaviour); shards >= 2: threaded multi-loop ingest.
+        self._sharded = shards >= 2
+        self._shards: List[_InProcShard] = (
+            [_InProcShard(self, index) for index in range(shards)] if self._sharded else []
+        )
+        self._rr = itertools.count()
+        self._stopped = False
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards) if self._sharded else 1
 
     def listen(self, address: str, events: TransportEvents) -> Listener:
         if address in self._listeners:
@@ -177,12 +250,22 @@ class InProcTransport(Transport):
         server = _InProcEndpoint(self, peer_label=f"{address}#client", events=server_events)
         client._attach(server)
         server._attach(client)
+        if self._sharded:
+            # Both ends share one shard: every event of the connection
+            # flows through one FIFO, preserving per-link ordering.
+            shard = next(self._rr) % len(self._shards)
+            client.shard = shard
+            server.shard = shard
+            self._shards[shard].connections += 1
+            self._post_control(shard, lambda: server_events.on_connected(server))
+            self._post_control(shard, lambda: events.on_connected(client))
+            return client
         self._enqueue(lambda: server_events.on_connected(server))
         self._enqueue(lambda: events.on_connected(client))
         self._drain()
         return client
 
-    # -- dispatch ----------------------------------------------------
+    # -- synchronous dispatch (shards in {0, 1}) ---------------------
 
     def _enqueue(self, thunk: Callable[[], None]) -> None:
         self._queue.append(thunk)
@@ -197,3 +280,142 @@ class InProcTransport(Transport):
                 self._queue.popleft()()
         finally:
             self._dispatching = False
+
+    # -- sharded dispatch (shards >= 2) ------------------------------
+
+    def _post_messages(self, shard_index: int, target: _InProcEndpoint, frames: List[bytes]) -> None:
+        shard = self._shards[shard_index]
+        tracer = _TRACER
+        start = time.perf_counter() if tracer.enabled else 0.0
+        # deque.append is atomic under the GIL, so the hot path is
+        # lock-free; the Condition is only taken to wake a worker that
+        # declared itself idle (it re-checks the queue under the lock
+        # before waiting, so a missed-stale ``idle`` read cannot lose a
+        # wakeup — the worker sees the appended item instead).
+        shard.queue.append((target, frames))
+        if shard.idle:
+            with shard.cond:
+                shard.cond.notify()
+        if start:
+            tracer.record("send", start, tracer.adopt_corr())
+
+    def _post_control(self, shard_index: int, thunk: Callable[[], None]) -> None:
+        shard = self._shards[shard_index]
+        shard.queue.append((None, thunk))
+        with shard.cond:
+            shard.cond.notify()
+
+    #: empty drains tolerated (yielding the GIL each time) before the
+    #: worker parks on its Condition.  During a burst the sender refills
+    #: the queue within a few yields, so the steady state never pays a
+    #: lock/notify cycle; a genuinely idle shard parks and costs no CPU.
+    _IDLE_SPINS = 32
+
+    def _shard_run(self, shard: _InProcShard) -> None:
+        queue = shard.queue
+        pop = queue.popleft
+        spins = 0
+        while True:
+            # ``busy`` is raised before draining so quiesce() cannot
+            # observe "queue empty, worker idle" while frames sit in
+            # the worker's local batch.
+            shard.busy = True
+            items: List[_ShardItem] = []
+            try:
+                while True:
+                    items.append(pop())
+            except IndexError:
+                pass
+            if items:
+                spins = 0
+                shard.depth_gauge.set(len(items))
+                try:
+                    self._dispatch_items(shard, items)
+                finally:
+                    shard.depth_gauge.set(0)
+                continue
+            shard.busy = False
+            if spins < self._IDLE_SPINS and shard.running:
+                spins += 1
+                time.sleep(0)  # yield: let senders refill the queue
+                continue
+            spins = 0
+            with shard.cond:
+                shard.cond.notify_all()
+                shard.idle = True
+                if not queue:
+                    if not shard.running:
+                        shard.idle = False
+                        return
+                    shard.cond.wait(timeout=0.1)
+                shard.idle = False
+
+    def _dispatch_items(self, shard: _InProcShard, items: List[_ShardItem]) -> None:
+        index = 0
+        total = len(items)
+        while index < total:
+            target, payload = items[index]
+            if target is None:
+                payload()  # control thunk
+                index += 1
+                continue
+            # Coalesce consecutive frames for the same endpoint into
+            # one batch; a control event in between breaks the run, so
+            # traffic never overtakes a connect/disconnect signal.
+            batch: List[bytes] = list(payload)
+            index += 1
+            while index < total and items[index][0] is target:
+                batch.extend(items[index][1])
+                index += 1
+            if target._closed:
+                continue
+            shard.rx_messages += len(batch)
+            target._events.deliver(target, batch)
+
+    def quiesce(self, timeout: float = 5.0) -> bool:
+        """Wait until every shard queue is drained and idle.
+
+        The scale harness and tests use this as the inproc equivalent
+        of "all in-flight frames delivered".  Returns False on timeout.
+        Synchronous mode is always quiescent (dispatch is inline).
+        """
+        if not self._sharded:
+            return True
+        deadline = time.monotonic() + timeout
+        for shard in self._shards:
+            with shard.cond:
+                while shard.queue or shard.busy:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    shard.cond.wait(timeout=min(remaining, 0.05))
+        return True
+
+    def stop(self) -> None:
+        """Stop shard workers (idempotent; no-op in synchronous mode)."""
+        if self._stopped or not self._sharded:
+            self._stopped = True
+            return
+        self._stopped = True
+        for shard in self._shards:
+            with shard.cond:
+                shard.running = False
+                shard.cond.notify_all()
+        for shard in self._shards:
+            shard.thread.join(timeout=5.0)
+
+    def start(self) -> None:
+        """Shard workers start at construction; kept for API symmetry."""
+
+    def shard_stats(self) -> List[dict]:
+        """Per-shard load/traffic snapshot for the scale harness."""
+        if not self._sharded:
+            return [{"shard": 0, "connections": 0, "rx_messages": 0}]
+        return [
+            {
+                "shard": shard.index,
+                "connections": shard.connections,
+                "rx_messages": shard.rx_messages,
+            }
+            for shard in self._shards
+        ]

@@ -1,23 +1,40 @@
 """Message-framed transport over TCP sockets (the SCTP stand-in).
 
-Each :class:`TcpTransport` owns one ``selectors``-based I/O loop that
-multiplexes every listener and connection created through it — the
-single-threaded, event-driven structure the paper's server library uses
-(§4.4).  The loop runs either inline (:meth:`step`, for tests) or on a
-background thread (:meth:`start`), which is how the RTT experiments
-drive real sockets on localhost exactly as the paper measured.
+Each :class:`TcpTransport` owns one or more ``selectors``-based I/O
+*shards*.  A shard is the single-threaded, event-driven loop the
+paper's server library uses (§4.4) — its own selector, its own wake
+pipe, its own thread — and connections are pinned to exactly one shard
+for their lifetime, which is what preserves per-connection message
+ordering.  With ``shards=1`` (the default) the transport is exactly
+the historic single-loop implementation; with ``shards=N`` accepted
+and outgoing connections are spread round-robin/least-loaded across N
+independent loops so one busy E2 node no longer stalls every other
+node's traffic.
+
+Sharded loops additionally drain a readable socket until ``EAGAIN``
+and deliver every completed frame of the wakeup as one batch through
+``TransportEvents.on_messages`` (when the receiver registered it), so
+a burst costs the server one lock acquisition and one trace span
+instead of per-frame overhead — the receive-side mirror of the
+``send_many`` coalescing.
+
+The loops run either inline (:meth:`step`, for tests) or on background
+threads (:meth:`start`), which is how the RTT experiments drive real
+sockets on localhost exactly as the paper measured.
 """
 
 from __future__ import annotations
 
 import errno
+import itertools
 import selectors
 import socket
 import threading
 import time
-from typing import Dict, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.transport.base import (
+    ConnectTimeout,
     DisconnectReason,
     Endpoint,
     Listener,
@@ -49,13 +66,21 @@ def _parse_address(address: str) -> tuple:
 
 
 class _TcpEndpoint(Endpoint):
-    def __init__(self, transport: "TcpTransport", sock: socket.socket, events: TransportEvents) -> None:
+    def __init__(
+        self,
+        transport: "TcpTransport",
+        sock: socket.socket,
+        events: TransportEvents,
+        shard: int,
+    ) -> None:
         self._transport = transport
         self._sock = sock
         self._events = events
         self._framer = Framer()
         self._send_lock = threading.Lock()
         self._closed = False
+        #: index of the I/O shard this connection is pinned to.
+        self.shard = shard
         try:
             self._peer = "%s:%d" % sock.getpeername()[:2]
         except OSError:
@@ -124,11 +149,19 @@ class _TcpEndpoint(Endpoint):
 
 
 class _TcpListener(Listener):
-    def __init__(self, transport: "TcpTransport", sock: socket.socket, events: TransportEvents) -> None:
+    """One listening address, possibly backed by several sockets.
+
+    With ``SO_REUSEPORT`` sharding every shard owns its own accept
+    socket bound to the same port and the kernel spreads incoming
+    connections across them; otherwise a single socket on shard 0
+    accepts and hands connections to the least-loaded shard.
+    """
+
+    def __init__(self, transport: "TcpTransport", socks: List[socket.socket], events: TransportEvents) -> None:
         self._transport = transport
-        self._sock = sock
+        self._socks = socks
         self._events = events
-        host, port = sock.getsockname()[:2]
+        host, port = socks[0].getsockname()[:2]
         self._address = f"{host}:{port}"
 
     def close(self) -> None:
@@ -143,121 +176,280 @@ class _TcpListener(Listener):
         return int(self._address.rpartition(":")[2])
 
 
+class _Shard:
+    """One independent selector loop: selector + wake pipe + thread."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.selector = selectors.DefaultSelector()
+        self.lock = threading.Lock()
+        self.thread: Optional[threading.Thread] = None
+        #: sock -> endpoint, for teardown; len() is the load metric.
+        self.endpoints: dict = {}
+        #: messages delivered through this shard (single-writer: the
+        #: shard's own dispatch context), for balance diagnostics.
+        self.rx_messages = 0
+        self.wake_recv, self.wake_send = socket.socketpair()
+        self.wake_recv.setblocking(False)
+        self.selector.register(self.wake_recv, selectors.EVENT_READ, ("wake", None))
+        self._closed = False
+
+    def wake(self) -> None:
+        try:
+            self.wake_send.send(b"x")
+        except OSError:
+            pass
+
+    def drain_wake(self) -> None:
+        try:
+            while self.wake_recv.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def close(self) -> None:
+        """Release the wake pipe and selector (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        with self.lock:
+            try:
+                self.selector.unregister(self.wake_recv)
+            except (KeyError, ValueError):
+                pass
+            for sock in (self.wake_recv, self.wake_send):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            self.selector.close()
+
+
 class TcpTransport(Transport):
-    """Framed-TCP transport with an owned selector loop."""
+    """Framed-TCP transport with one or more owned selector loops."""
 
     name = "tcp"
 
     #: bytes read per recv call.
     RECV_SIZE = 256 * 1024
+    #: per-wakeup drain cap (sharded mode): a connection bursting more
+    #: than this yields the shard loop so its neighbours stay live; the
+    #: level-triggered selector re-arms it on the next poll.
+    MAX_DRAIN_BYTES = 1024 * 1024
 
-    def __init__(self) -> None:
-        self._selector = selectors.DefaultSelector()
-        self._lock = threading.Lock()
-        self._thread: Optional[threading.Thread] = None
+    def __init__(
+        self,
+        shards: int = 1,
+        connect_timeout_s: float = 5.0,
+        reuseport: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self._shards = [_Shard(index) for index in range(shards)]
+        #: sharded loops batch-drain sockets; the single-loop transport
+        #: keeps the historic one-recv/one-callback behaviour exactly.
+        self._batched = shards > 1
+        self.connect_timeout_s = connect_timeout_s
+        self._reuseport = reuseport and hasattr(socket, "SO_REUSEPORT")
+        self._rr = itertools.count()
+        self._listeners: List[_TcpListener] = []
         self._running = False
-        self._endpoints: Dict[socket.socket, _TcpEndpoint] = {}
-        # Self-pipe so start/stop and registration wake the loop.
-        self._wake_recv, self._wake_send = socket.socketpair()
-        self._wake_recv.setblocking(False)
-        self._selector.register(self._wake_recv, selectors.EVENT_READ, ("wake", None))
+        self._stopped = False
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
 
     # -- public API --------------------------------------------------
 
     def listen(self, address: str, events: TransportEvents) -> _TcpListener:
         host, port = _parse_address(address)
+        if self._reuseport and len(self._shards) > 1:
+            socks = self._listen_reuseport(host, port)
+        else:
+            socks = [self._bind(host, port, reuseport=False)]
+        listener = _TcpListener(self, socks, events)
+        for index, sock in enumerate(socks):
+            # Single-socket mode accepts on shard 0 and spreads the
+            # connections; reuseport mode pins each accept socket to
+            # its own shard (the kernel does the spreading).
+            shard = self._shards[index % len(self._shards)]
+            with shard.lock:
+                shard.selector.register(sock, selectors.EVENT_READ, ("accept", listener))
+            shard.wake()
+        self._listeners.append(listener)
+        return listener
+
+    def _bind(self, host: str, port: int, reuseport: bool) -> socket.socket:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuseport:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
         sock.bind((host, port))
         sock.listen(64)
         sock.setblocking(False)
-        listener = _TcpListener(self, sock, events)
-        with self._lock:
-            self._selector.register(sock, selectors.EVENT_READ, ("accept", listener))
-        self._wake()
-        return listener
+        return sock
+
+    def _listen_reuseport(self, host: str, port: int) -> List[socket.socket]:
+        """One accept socket per shard on the same port (§SO_REUSEPORT)."""
+        first = self._bind(host, port, reuseport=True)
+        bound_port = first.getsockname()[1]  # resolve an ephemeral port
+        socks = [first]
+        try:
+            for _ in range(1, len(self._shards)):
+                socks.append(self._bind(host, bound_port, reuseport=True))
+        except OSError:
+            for sock in socks:
+                sock.close()
+            raise
+        return socks
 
     def connect(self, address: str, events: TransportEvents) -> _TcpEndpoint:
         host, port = _parse_address(address)
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        sock.connect((host, port))
+        # Bounded connect: a black-holed address must not stall the
+        # caller for the OS default (minutes); the reconnect path
+        # treats the timeout like any other refused attempt.
+        sock.settimeout(self.connect_timeout_s if self.connect_timeout_s > 0 else None)
+        try:
+            sock.connect((host, port))
+        except socket.timeout:
+            sock.close()
+            get_counter("tcp.connect.timeout").incr()
+            raise ConnectTimeout(
+                f"connect to {address} timed out after {self.connect_timeout_s}s"
+            )
+        except OSError:
+            sock.close()
+            raise
         sock.setblocking(False)
-        endpoint = _TcpEndpoint(self, sock, events)
-        with self._lock:
-            self._endpoints[sock] = endpoint
-            self._selector.register(sock, selectors.EVENT_READ, ("conn", endpoint))
-        self._wake()
+        shard = self._pick_shard()
+        endpoint = _TcpEndpoint(self, sock, events, shard.index)
+        with shard.lock:
+            shard.endpoints[sock] = endpoint
+            shard.selector.register(sock, selectors.EVENT_READ, ("conn", endpoint))
+        shard.wake()
         events.on_connected(endpoint)
         return endpoint
 
     def start(self) -> None:
-        """Run the I/O loop on a daemon thread until :meth:`stop`."""
+        """Run every shard loop on a daemon thread until :meth:`stop`."""
         if self._running:
             return
         self._running = True
-        self._thread = threading.Thread(target=self._run, name="tcp-transport", daemon=True)
-        self._thread.start()
+        self._stopped = False
+        for shard in self._shards:
+            shard.thread = threading.Thread(
+                target=self._run,
+                args=(shard,),
+                name=f"tcp-transport-{shard.index}",
+                daemon=True,
+            )
+            shard.thread.start()
 
     def stop(self) -> None:
-        """Stop the loop thread and close every socket."""
+        """Stop every loop thread and close every socket (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
         self._running = False
-        self._wake()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-        with self._lock:
-            for sock, endpoint in list(self._endpoints.items()):
-                endpoint._closed = True
-                self._unregister(sock)
-                sock.close()
-            self._endpoints.clear()
-            for key in list(self._selector.get_map().values()):
-                kind, owner = key.data
-                if kind == "accept":
-                    self._selector.unregister(key.fileobj)
-                    key.fileobj.close()
+        for shard in self._shards:
+            shard.wake()
+        for shard in self._shards:
+            if shard.thread is not None:
+                shard.thread.join(timeout=5.0)
+                shard.thread = None
+        for listener in list(self._listeners):
+            self._close_listener(listener)
+        for shard in self._shards:
+            with shard.lock:
+                for sock, endpoint in list(shard.endpoints.items()):
+                    endpoint._closed = True
+                    self._unregister(shard, sock)
+                    sock.close()
+                shard.endpoints.clear()
+            # The self-pipe: left open across stop() it leaks two fds
+            # per create/stop cycle (chaos suites cycle transports).
+            shard.close()
 
     def step(self, timeout: float = 0.0) -> int:
-        """Process pending I/O inline; returns the number of events."""
-        return self._poll(timeout)
+        """Process pending I/O inline; returns the number of events.
+
+        Polls every shard once (tests drive multi-shard transports the
+        same way as the historic single loop).
+        """
+        return sum(self._poll(shard, timeout) for shard in self._shards)
+
+    def shard_stats(self) -> List[dict]:
+        """Per-shard load/traffic snapshot for the scale harness."""
+        return [
+            {
+                "shard": shard.index,
+                "connections": len(shard.endpoints),
+                "rx_messages": shard.rx_messages,
+            }
+            for shard in self._shards
+        ]
 
     # -- internals ---------------------------------------------------
 
-    def _run(self) -> None:
-        while self._running:
-            self._poll(timeout=0.1)
+    def _pick_shard(self) -> _Shard:
+        """Least-loaded shard, round-robin among ties."""
+        n = len(self._shards)
+        if n == 1:
+            return self._shards[0]
+        start = next(self._rr) % n
+        best = self._shards[start]
+        best_load = len(best.endpoints)
+        for offset in range(1, n):
+            shard = self._shards[(start + offset) % n]
+            load = len(shard.endpoints)
+            if load < best_load:
+                best, best_load = shard, load
+        return best
 
-    def _poll(self, timeout: float) -> int:
-        events = self._selector.select(timeout)
+    def _run(self, shard: _Shard) -> None:
+        while self._running:
+            self._poll(shard, timeout=0.1)
+
+    def _poll(self, shard: _Shard, timeout: float) -> int:
+        try:
+            events = shard.selector.select(timeout)
+        except OSError:
+            return 0
         for key, _mask in events:
             kind, owner = key.data
             if kind == "wake":
-                try:
-                    while self._wake_recv.recv(4096):
-                        pass
-                except BlockingIOError:
-                    pass
+                shard.drain_wake()
             elif kind == "accept":
-                self._accept(owner)
+                self._accept(shard, key.fileobj, owner)
             else:
-                self._read(owner)
+                self._read(shard, owner)
         return len(events)
 
-    def _accept(self, listener: _TcpListener) -> None:
+    def _accept(self, shard: _Shard, sock: socket.socket, listener: _TcpListener) -> None:
         try:
-            sock, _addr = listener._sock.accept()
+            conn, _addr = sock.accept()
         except OSError:
             return
-        sock.setblocking(False)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        endpoint = _TcpEndpoint(self, sock, listener._events)
-        with self._lock:
-            self._endpoints[sock] = endpoint
-            self._selector.register(sock, selectors.EVENT_READ, ("conn", endpoint))
+        conn.setblocking(False)
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Reuseport accept sockets keep their connection on the
+        # accepting shard; the single accept socket spreads them.
+        target = shard if self._reuseport and len(self._shards) > 1 else self._pick_shard()
+        endpoint = _TcpEndpoint(self, conn, listener._events, target.index)
+        with target.lock:
+            target.endpoints[conn] = endpoint
+            target.selector.register(conn, selectors.EVENT_READ, ("conn", endpoint))
+        if target is not shard:
+            target.wake()
         listener._events.on_connected(endpoint)
 
-    def _read(self, endpoint: _TcpEndpoint) -> None:
+    def _read(self, shard: _Shard, endpoint: _TcpEndpoint) -> None:
+        if self._batched:
+            self._read_batched(shard, endpoint)
+            return
         tracer = _TRACER
         trace_start = time.perf_counter() if tracer.enabled else 0.0
         try:
@@ -293,8 +485,54 @@ class TcpTransport(Transport):
                 reason=DisconnectReason(DisconnectReason.PROTOCOL, str(exc)),
             )
             return
+        shard.rx_messages += len(messages)
         for message in messages:
             endpoint._events.on_message(endpoint, message)
+
+    def _read_batched(self, shard: _Shard, endpoint: _TcpEndpoint) -> None:
+        """Drain the socket until EAGAIN, deliver one frame batch.
+
+        Everything the wakeup completed reaches the receiver as one
+        ``on_messages`` call (or an ``on_message`` loop for receivers
+        without the batch hook); a terminal condition found mid-drain
+        (EOF, reset, framing violation) is reported only *after* the
+        frames completed before it were delivered, preserving the
+        per-connection ordering guarantee.
+        """
+        tracer = _TRACER
+        trace_start = time.perf_counter() if tracer.enabled else 0.0
+        drained = 0
+        terminal: Optional[DisconnectReason] = None
+        terminal_counter = ""
+        messages: List[bytes] = []
+        while drained < self.MAX_DRAIN_BYTES:
+            try:
+                chunk = endpoint._sock.recv(self.RECV_SIZE)
+            except BlockingIOError:
+                break
+            except OSError as exc:
+                terminal = _classify_oserror(exc)
+                terminal_counter = f"tcp.close.{terminal.code}"
+                break
+            if not chunk:
+                terminal = DisconnectReason(DisconnectReason.EOF)
+                terminal_counter = "tcp.close.eof"
+                break
+            drained += len(chunk)
+            try:
+                messages.extend(endpoint._framer.feed(chunk))
+            except FramingError as exc:
+                terminal = DisconnectReason(DisconnectReason.PROTOCOL, str(exc))
+                terminal_counter = "tcp.close.framing"
+                break
+        if trace_start and drained:
+            tracer.record("recv", trace_start, node=endpoint._peer)
+        if messages:
+            shard.rx_messages += len(messages)
+            endpoint._events.deliver(endpoint, messages)
+        if terminal is not None:
+            get_counter(terminal_counter).incr()
+            self._close_endpoint(endpoint, notify_local=True, reason=terminal)
 
     def _close_endpoint(
         self,
@@ -306,9 +544,10 @@ class TcpTransport(Transport):
             return
         endpoint._closed = True
         sock = endpoint._sock
-        with self._lock:
-            self._endpoints.pop(sock, None)
-            self._unregister(sock)
+        shard = self._shards[endpoint.shard]
+        with shard.lock:
+            shard.endpoints.pop(sock, None)
+            self._unregister(shard, sock)
         try:
             sock.close()
         except OSError:
@@ -319,18 +558,19 @@ class TcpTransport(Transport):
             )
 
     def _close_listener(self, listener: _TcpListener) -> None:
-        with self._lock:
-            self._unregister(listener._sock)
-        listener._sock.close()
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+        for index, sock in enumerate(listener._socks):
+            shard = self._shards[index % len(self._shards)]
+            with shard.lock:
+                self._unregister(shard, sock)
+            try:
+                sock.close()
+            except OSError:
+                pass
 
-    def _unregister(self, sock: socket.socket) -> None:
+    def _unregister(self, shard: _Shard, sock: socket.socket) -> None:
         try:
-            self._selector.unregister(sock)
-        except (KeyError, ValueError):
-            pass
-
-    def _wake(self) -> None:
-        try:
-            self._wake_send.send(b"x")
-        except OSError:
+            shard.selector.unregister(sock)
+        except (KeyError, ValueError, OSError):
             pass

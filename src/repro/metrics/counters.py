@@ -1,9 +1,13 @@
 """Named monotonic counters for cache and hot-path instrumentation.
 
-Counters are process-global and intentionally unsynchronized: a lost
-increment under racing threads skews a diagnostic number, never
-correctness, and keeping ``incr`` to one integer add keeps the probes
-cheap enough to live on the codec hot path.
+Counters are process-global and thread-safe: with the sharded server
+ingest multiple transport shard threads increment the same counters
+concurrently, so a plain ``+=`` would silently drop updates.  Each
+instrument binds one lock from a small striped pool at construction
+(hashed by name), keeping ``incr`` to one uncontended lock acquisition
+plus an integer add — cheap enough to stay on the codec hot path while
+making the hammer-test arithmetic exact.  Reads (``.value``) stay
+lock-free: an int attribute load is atomic under the GIL.
 
 :class:`Gauge` (point-in-time values) and :class:`Histogram`
 (fixed-bucket latency distributions) share the same registry
@@ -19,24 +23,41 @@ Example:
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple
 
+#: Striped lock pool shared by every instrument.  Distinct hot-path
+#: counters almost always hash to distinct stripes, so shard threads
+#: incrementing *different* counters never contend; two counters
+#: sharing a stripe still increment correctly, just serialized.
+_STRIPES = 16
+_LOCK_POOL: Tuple[threading.Lock, ...] = tuple(
+    threading.Lock() for _ in range(_STRIPES)
+)
+
+
+def _stripe_lock(name: str) -> threading.Lock:
+    return _LOCK_POOL[hash(name) % _STRIPES]
+
 
 class Counter:
-    """One named monotonic counter."""
+    """One named monotonic counter (thread-safe ``incr``)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = _stripe_lock(name)
 
     def incr(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self.value})"
@@ -45,18 +66,25 @@ class Counter:
 class Gauge:
     """One named point-in-time value (e.g. a link's lifecycle state).
 
-    Same registry discipline as :class:`Counter`: process-global,
-    unsynchronized, cheap enough for per-event updates.
+    Same registry discipline as :class:`Counter`.  ``set`` is a single
+    atomic store; ``add`` (read-modify-write, used for queue-depth
+    style gauges updated from several shard threads) takes the stripe
+    lock.
     """
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = _stripe_lock(name)
 
     def set(self, value: int) -> None:
         self.value = value
+
+    def add(self, delta: int) -> None:
+        with self._lock:
+            self.value += delta
 
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, value={self.value})"
@@ -81,7 +109,7 @@ class Histogram:
     the traced hot paths.
     """
 
-    __slots__ = ("name", "edges", "counts", "count", "total")
+    __slots__ = ("name", "edges", "counts", "count", "total", "_lock")
 
     def __init__(self, name: str, edges: Sequence[float] = DEFAULT_BUCKETS_US) -> None:
         if not edges or list(edges) != sorted(edges):
@@ -91,11 +119,14 @@ class Histogram:
         self.counts: List[int] = [0] * (len(self.edges) + 1)  # last = overflow
         self.count = 0
         self.total = 0.0
+        self._lock = _stripe_lock(name)
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.edges, value)] += 1
-        self.count += 1
-        self.total += value
+        index = bisect_left(self.edges, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.total += value
 
     @property
     def mean(self) -> float:
@@ -142,9 +173,10 @@ class Histogram:
         }
 
     def reset(self) -> None:
-        self.counts = [0] * (len(self.edges) + 1)
-        self.count = 0
-        self.total = 0.0
+        with self._lock:
+            self.counts = [0] * (len(self.edges) + 1)
+            self.count = 0
+            self.total = 0.0
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count})"
@@ -153,13 +185,20 @@ class Histogram:
 _COUNTERS: Dict[str, Counter] = {}
 _GAUGES: Dict[str, Gauge] = {}
 _HISTOGRAMS: Dict[str, Histogram] = {}
+#: Guards first-use creation only: two shard threads racing to create
+#: the same name must agree on one instrument object, or increments on
+#: the loser would vanish.  The lookup fast path stays lock-free.
+_REGISTRY_LOCK = threading.Lock()
 
 
 def get_gauge(name: str) -> Gauge:
     """Fetch (creating on first use) the gauge with ``name``."""
     gauge = _GAUGES.get(name)
     if gauge is None:
-        gauge = _GAUGES[name] = Gauge(name)
+        with _REGISTRY_LOCK:
+            gauge = _GAUGES.get(name)
+            if gauge is None:
+                gauge = _GAUGES[name] = Gauge(name)
     return gauge
 
 
@@ -172,7 +211,10 @@ def get_counter(name: str) -> Counter:
     """Fetch (creating on first use) the counter with ``name``."""
     counter = _COUNTERS.get(name)
     if counter is None:
-        counter = _COUNTERS[name] = Counter(name)
+        with _REGISTRY_LOCK:
+            counter = _COUNTERS.get(name)
+            if counter is None:
+                counter = _COUNTERS[name] = Counter(name)
     return counter
 
 
@@ -213,9 +255,12 @@ def get_histogram(name: str, edges: Optional[Sequence[float]] = None) -> Histogr
     """
     histogram = _HISTOGRAMS.get(name)
     if histogram is None:
-        histogram = _HISTOGRAMS[name] = Histogram(
-            name, DEFAULT_BUCKETS_US if edges is None else edges
-        )
+        with _REGISTRY_LOCK:
+            histogram = _HISTOGRAMS.get(name)
+            if histogram is None:
+                histogram = _HISTOGRAMS[name] = Histogram(
+                    name, DEFAULT_BUCKETS_US if edges is None else edges
+                )
     return histogram
 
 

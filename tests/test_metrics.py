@@ -148,3 +148,65 @@ class TestStats:
     def test_summary_row_format(self):
         row = summarize([1.0, 2.0]).row("ms")
         assert "mean=1.50 ms" in row
+
+
+class TestInstrumentThreadSafety:
+    """Hammer tests: the sharded ingest increments these instruments
+    from several transport threads at once, so lost updates would show
+    up as mysteriously-low counters in the scale harness."""
+
+    THREADS = 8
+    ITERS = 5_000
+
+    def _hammer(self, worker):
+        import threading
+
+        threads = [threading.Thread(target=worker) for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_concurrent_incr_exact(self):
+        from repro.metrics.counters import get_counter
+
+        counter = get_counter("test.hammer.counter")
+        counter.reset()
+        self._hammer(lambda: [counter.incr() for _ in range(self.ITERS)])
+        assert counter.value == self.THREADS * self.ITERS
+
+    def test_gauge_concurrent_add_exact(self):
+        from repro.metrics.counters import get_gauge
+
+        gauge = get_gauge("test.hammer.gauge")
+        gauge.set(0)
+        self._hammer(lambda: [gauge.add(1) for _ in range(self.ITERS)])
+        assert gauge.value == self.THREADS * self.ITERS
+
+    def test_histogram_concurrent_observe_exact(self):
+        from repro.metrics.counters import get_histogram
+
+        histogram = get_histogram("test.hammer.histogram")
+        histogram.reset()
+        self._hammer(lambda: [histogram.observe(7.0) for _ in range(self.ITERS)])
+        assert histogram.count == self.THREADS * self.ITERS
+        assert sum(histogram.counts) == self.THREADS * self.ITERS
+
+    def test_registry_creation_race_yields_one_instrument(self):
+        import threading
+
+        from repro.metrics.counters import get_counter
+
+        results = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def create():
+            barrier.wait()
+            results.append(get_counter("test.hammer.race"))
+
+        threads = [threading.Thread(target=create) for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(counter) for counter in results}) == 1

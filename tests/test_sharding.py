@@ -1,0 +1,379 @@
+"""Sharded ingest: shard balance, ordering, snapshots, fd hygiene.
+
+Covers the multi-loop transport layer (TCP and in-process), the
+server's batched receive path, the lock-free routing snapshots under
+churn, and the satellite fixes (socketpair fd leak on ``stop()``,
+bounded connect timeout).  The churn tests honour ``CHAOS_SEED`` like
+the resilience suite so CI can sweep schedules.
+"""
+
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.agent import Agent, AgentConfig
+from repro.core.e2ap.ies import GlobalE2NodeId, NodeKind, RicActionDefinition, RicActionKind
+from repro.core.server import Server, ServerConfig, SubscriptionCallbacks
+from repro.core.server.submgr import SubscriptionManager
+from repro.core.transport import (
+    ConnectTimeout,
+    FaultSpec,
+    FaultyTransport,
+    InProcTransport,
+    TcpTransport,
+    TransportEvents,
+)
+from repro.metrics.counters import counter_values, get_counter
+from repro.sm.hw import HwRanFunction, INFO as HW
+from repro.sm.mac_stats import MacStatsFunction, synthetic_provider, INFO as MAC
+from repro.sm.base import PeriodicTrigger
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+
+def make_node(nb_id=1):
+    return GlobalE2NodeId(plmn="00101", nb_id=nb_id, kind=NodeKind.GNB)
+
+
+def _wait(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+def _open_fds():
+    return len(os.listdir("/proc/self/fd"))
+
+
+# -- shard assignment / balance --------------------------------------
+
+
+class TestShardBalance:
+    def test_inproc_round_robin_assignment(self):
+        transport = InProcTransport(shards=4)
+        try:
+            transport.listen("ric", TransportEvents())
+            conns = [transport.connect("ric", TransportEvents()) for _ in range(8)]
+            per_shard = [stat["connections"] for stat in transport.shard_stats()]
+            assert per_shard == [2, 2, 2, 2]
+            # Both ends of a pair share the shard (ordering guarantee).
+            for conn in conns:
+                assert conn.shard == conn._other.shard
+        finally:
+            transport.stop()
+
+    def test_tcp_connections_spread_across_shards(self):
+        transport = TcpTransport(shards=4)
+        received = []
+        try:
+            listener = transport.listen(
+                "127.0.0.1:0",
+                TransportEvents(on_message=lambda e, d: received.append(d)),
+            )
+            transport.start()
+            clients = [
+                transport.connect(f"127.0.0.1:{listener.port}", TransportEvents())
+                for _ in range(8)
+            ]
+            assert _wait(
+                lambda: sum(s["connections"] for s in transport.shard_stats()) >= 16
+            )
+            loads = [s["connections"] for s in transport.shard_stats()]
+            # 8 client + 8 accepted endpoints, least-loaded spread:
+            # nobody should be starved and nobody should hog.
+            assert min(loads) >= 1
+            assert max(loads) <= 8
+            for client in clients:
+                client.send(b"ping")
+            assert _wait(lambda: len(received) == 8)
+        finally:
+            transport.stop()
+
+    def test_single_shard_is_legacy_loop(self):
+        transport = TcpTransport(shards=1)
+        assert transport.shards == 1
+        assert transport._batched is False
+        transport.stop()
+
+
+# -- per-connection ordering -----------------------------------------
+
+
+class TestOrdering:
+    def test_inproc_sharded_ordering_per_connection(self):
+        transport = InProcTransport(shards=3)
+        got = {}
+
+        def on_message(endpoint, data):
+            got.setdefault(id(endpoint), []).append(data)
+
+        def on_messages(endpoint, batch):
+            got.setdefault(id(endpoint), []).extend(batch)
+
+        try:
+            transport.listen(
+                "ric",
+                TransportEvents(on_message=on_message, on_messages=on_messages),
+            )
+            conns = [transport.connect("ric", TransportEvents()) for _ in range(6)]
+
+            def blast(conn, tag):
+                for seq in range(200):
+                    conn.send(b"%d:%d" % (tag, seq))
+
+            threads = [
+                threading.Thread(target=blast, args=(conn, tag))
+                for tag, conn in enumerate(conns)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert transport.quiesce(timeout=10.0)
+            streams = list(got.values())
+            assert sum(len(stream) for stream in streams) == 6 * 200
+            for stream in streams:
+                seqs = [int(data.split(b":")[1]) for data in stream]
+                assert seqs == sorted(seqs), "per-connection order violated"
+        finally:
+            transport.stop()
+
+    def test_tcp_batched_ordering(self):
+        transport = TcpTransport(shards=2)
+        got = []
+        batches = []
+
+        def on_messages(endpoint, batch):
+            batches.append(len(batch))
+            got.extend(batch)
+
+        try:
+            listener = transport.listen(
+                "127.0.0.1:0", TransportEvents(on_messages=on_messages)
+            )
+            transport.start()
+            client = transport.connect(
+                f"127.0.0.1:{listener.port}", TransportEvents()
+            )
+            client.send_many([b"m%04d" % index for index in range(500)])
+            assert _wait(lambda: len(got) == 500)
+            assert got == [b"m%04d" % index for index in range(500)]
+            # The drain actually coalesced: fewer callbacks than frames.
+            assert len(batches) < 500
+        finally:
+            transport.stop()
+
+
+# -- routing snapshot consistency under churn ------------------------
+
+
+class TestSnapshotChurn:
+    @pytest.mark.parametrize("seed", [CHAOS_SEED, CHAOS_SEED + 1])
+    def test_submgr_snapshot_consistent_under_churn(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        submgr = SubscriptionManager()
+        stop = threading.Event()
+        errors = []
+        live = []
+        live_lock = threading.Lock()
+
+        def mutator():
+            try:
+                for _ in range(400):
+                    if rng.random() < 0.6 or not live:
+                        record = submgr.create(
+                            conn_id=1, ran_function_id=1,
+                            callbacks=SubscriptionCallbacks(),
+                        )
+                        with live_lock:
+                            live.append(record)
+                    else:
+                        with live_lock:
+                            record = live.pop(rng.randrange(len(live)))
+                        submgr.remove(record.request)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    with live_lock:
+                        record = live[-1] if live else None
+                    if record is not None:
+                        # A lookup may miss a *removed* record but must
+                        # never crash or return a foreign record.
+                        found = submgr.lookup(
+                            record.request.requestor_id,
+                            record.request.instance_id,
+                        )
+                        if found is not None:
+                            assert found.request == record.request
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=mutator)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        # Quiescent: snapshot and source of truth agree exactly.
+        assert submgr._route == submgr._records
+
+    def test_server_routes_rebuilt_on_connect_and_disconnect(self):
+        transport = InProcTransport()
+        server = Server(ServerConfig())
+        server.listen(transport, "ric")
+        agent = Agent(AgentConfig(node_id=make_node()), transport)
+        agent.register_function(HwRanFunction())
+        origin = agent.connect("ric")
+        assert len(server._route_conns) == 1
+        assert server._route_conns == server._conns
+        agent.disconnect(origin)
+        assert server._route_conns == {}
+        assert server._route_by_endpoint == {}
+
+
+# -- FaultyTransport over a sharded inner transport ------------------
+
+
+class TestFaultyOverSharded:
+    def test_wrapper_transparent_over_sharded_inproc(self):
+        chaos = FaultyTransport(InProcTransport(shards=2), FaultSpec(), seed=CHAOS_SEED)
+        got = []
+        seen_endpoints = set()
+
+        def on_messages(endpoint, batch):
+            seen_endpoints.add(id(endpoint))
+            got.extend(batch)
+
+        try:
+            chaos.listen("ric", TransportEvents(on_messages=on_messages))
+            conn = chaos.connect("ric", TransportEvents())
+            for index in range(50):
+                conn.send(b"m%d" % index)
+            assert chaos.quiesce(timeout=5.0)
+            assert got == [b"m%d" % index for index in range(50)]
+            # Identity stable: every batch surfaced one wrapper object.
+            assert len(seen_endpoints) == 1
+            assert conn.shard in (0, 1)
+            assert len(chaos.shard_stats()) == 2
+        finally:
+            chaos.stop()
+
+    def test_faults_still_injected_through_batches(self):
+        chaos = FaultyTransport(
+            InProcTransport(shards=2), FaultSpec(drop_rate=1.0), seed=CHAOS_SEED
+        )
+        got = []
+        try:
+            chaos.listen("ric", TransportEvents(on_messages=lambda e, b: got.extend(b)))
+            conn = chaos.connect("ric", TransportEvents())
+            for _ in range(20):
+                conn.send(b"doomed")
+            assert chaos.quiesce(timeout=5.0)
+            assert got == []
+        finally:
+            chaos.stop()
+
+
+# -- satellite fixes: fd hygiene, stop idempotence, connect timeout --
+
+
+class TestLifecycleHygiene:
+    def test_stop_releases_wake_socketpair_fds(self):
+        # Warm up any lazily-created fds (selectors, counters).
+        warmup = TcpTransport(shards=2)
+        warmup.listen("127.0.0.1:0", TransportEvents())
+        warmup.start()
+        warmup.stop()
+        before = _open_fds()
+        for _ in range(5):
+            transport = TcpTransport(shards=2)
+            transport.listen("127.0.0.1:0", TransportEvents())
+            transport.start()
+            transport.stop()
+        assert _open_fds() <= before
+
+    def test_stop_is_idempotent(self):
+        transport = TcpTransport(shards=2)
+        transport.listen("127.0.0.1:0", TransportEvents())
+        transport.start()
+        transport.stop()
+        transport.stop()  # second call must be a no-op, not an error
+        inproc = InProcTransport(shards=2)
+        inproc.stop()
+        inproc.stop()
+
+    def test_connect_timeout_raises_typed_error(self, monkeypatch):
+        def slow_connect(self, addr):
+            raise socket.timeout("timed out")
+
+        monkeypatch.setattr(socket.socket, "connect", slow_connect)
+        transport = TcpTransport(shards=1, connect_timeout_s=0.05)
+        before = counter_values().get("tcp.connect.timeout", 0)
+        try:
+            with pytest.raises(ConnectTimeout) as excinfo:
+                transport.connect("127.0.0.1:9", TransportEvents())
+            assert isinstance(excinfo.value, ConnectionError)
+            assert counter_values()["tcp.connect.timeout"] == before + 1
+        finally:
+            transport.stop()
+
+
+# -- server end-to-end over a sharded transport ----------------------
+
+
+class TestServerBatchPath:
+    def test_indications_flow_ordered_through_sharded_inproc(self):
+        transport = InProcTransport(shards=2)
+        server = Server(ServerConfig(shards=2))
+        server.listen(transport, "ric")
+        agent = Agent(AgentConfig(node_id=make_node()), transport)
+        function = MacStatsFunction(provider=synthetic_provider(2), sm_codec="fb")
+        agent.register_function(function)
+        try:
+            agent.connect("ric")
+            assert _wait(lambda: len(server.agents()) == 1)
+            conn_id = server.agents()[0].conn_id
+            sequences = []
+            done = threading.Event()
+
+            def on_indication(event):
+                sequences.append(event.sequence)
+                if len(sequences) >= 30:
+                    done.set()
+
+            record = server.subscribe(
+                conn_id=conn_id,
+                ran_function_id=MAC.default_function_id,
+                event_trigger=PeriodicTrigger(0.0).to_bytes("fb"),
+                actions=[RicActionDefinition(1, RicActionKind.REPORT)],
+                callbacks=SubscriptionCallbacks(on_indication=on_indication),
+            )
+            assert _wait(lambda: record.confirmed)
+            for _ in range(30):
+                function.pump()
+            assert done.wait(timeout=10.0)
+            assert sequences[:30] == sorted(sequences[:30])
+            rx = sum(
+                value
+                for name, value in counter_values().items()
+                if name.startswith("server.shard.") and name.endswith(".rx")
+            )
+            assert rx > 0
+        finally:
+            transport.stop()
+            server.close()
