@@ -10,6 +10,14 @@ inner E2SM layer.  This package reproduces that design:
 * codecs register by name in a global registry so new schemes can be
   added without touching the SDK (forward compatibility, §4.3).
 
+On top of the generic walkers, :mod:`repro.core.codec.schema` declares
+every E2AP message and E2SM payload shape once, and
+:mod:`repro.core.codec.codegen` compiles each (shape, codec) pair into
+a specialized encode/decode kernel with fused struct packs and unrolled
+field access.  The interpretive walkers stay behind a flag
+(``REPRO_CODEC_INTERPRETIVE=1`` or :func:`codegen.set_kernels_enabled`)
+as the differential-testing oracle.  See DESIGN.md §11.
+
 Three codecs ship, matching the cost models measured in the paper:
 
 ======== ====================== ==========================================
@@ -31,6 +39,12 @@ from repro.core.codec.base import (
     register_codec,
 )
 from repro.core.codec.bitio import BitReader, BitWriter
+from repro.core.codec import codegen, schema
+from repro.core.codec.codegen import (
+    interpretive,
+    kernels_enabled,
+    set_kernels_enabled,
+)
 from repro.core.codec.per import PerCodec
 from repro.core.codec.flat import FlatCodec, FlatView
 from repro.core.codec.protobuf import ProtobufCodec
@@ -47,4 +61,9 @@ __all__ = [
     "FlatCodec",
     "FlatView",
     "ProtobufCodec",
+    "codegen",
+    "schema",
+    "interpretive",
+    "kernels_enabled",
+    "set_kernels_enabled",
 ]

@@ -21,7 +21,42 @@ Value = Any  # documented recursive union; Python <3.12 friendly alias
 
 
 class CodecError(Exception):
-    """Raised when encoding or decoding fails."""
+    """Raised when encoding or decoding fails.
+
+    ``message_type`` and ``field`` carry the E2AP message type name and
+    the offending field when the failure context knows them (set via
+    :meth:`with_context`), so containment counters (``decode.contained``)
+    are debuggable from logs rather than opaque tallies.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        message_type: str = None,
+        field: str = None,
+    ) -> None:
+        super().__init__(message)
+        self.message_type = message_type
+        self.field = field
+
+    def with_context(self, message_type: str = None, field: str = None) -> "CodecError":
+        """Attach message-type/field context without clobbering existing."""
+        if message_type is not None and self.message_type is None:
+            self.message_type = message_type
+        if field is not None and self.field is None:
+            self.field = field
+        return self
+
+    def __str__(self) -> str:
+        text = super().__str__()
+        context = []
+        if self.message_type is not None:
+            context.append(f"message={self.message_type}")
+        if self.field is not None:
+            context.append(f"field={self.field}")
+        if context:
+            return f"{text} [{', '.join(context)}]"
+        return text
 
 
 class Codec(ABC):

@@ -35,7 +35,9 @@ import struct
 from typing import Any, Dict, Iterator, List, Tuple
 
 from repro.core.codec import base
+from repro.core.codec import codegen as _codegen
 from repro.core.codec.base import Codec, CodecError
+from repro.metrics import counters
 
 _MAGIC = b"FR"
 _VERSION = 1
@@ -71,6 +73,46 @@ _KEY_PREFIX_MAX = 1 << 12
 _KEY_INTERN: Dict[bytes, str] = {}
 _KEY_INTERN_MAX = 1 << 12
 
+
+class _LruCache:
+    """Insertion-ordered LRU with a hard cap and an eviction counter.
+
+    ``get`` refreshes recency; ``put`` evicts the least recently used
+    entry once the cap is reached.  Bounds the directory/route caches so
+    a pathological mix of message layouts cannot grow them without
+    limit; the eviction counters make such a mix visible in metrics.
+    """
+
+    __slots__ = ("_data", "_cap", "_evictions")
+
+    def __init__(self, cap: int, counter_name: str) -> None:
+        self._data: Dict[Any, Any] = {}
+        self._cap = cap
+        self._evictions = counters.get_counter(counter_name)
+
+    def get(self, key: Any) -> Any:
+        data = self._data
+        value = data.get(key)
+        if value is not None:
+            del data[key]
+            data[key] = value
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        data = self._data
+        if key in data:
+            del data[key]
+        elif len(data) >= self._cap:
+            del data[next(iter(data))]
+            self._evictions.incr()
+        data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
 #: Parsed dict directories keyed on their raw octets (count word
 #: included).  E2AP traffic re-sends the same tables with the same
 #: field sizes every period, so the per-message directory walk
@@ -81,20 +123,20 @@ _KEY_INTERN_MAX = 1 << 12
 #: is then exactly ``7 * count``, so the lookup slice is exact, and a
 #: byte-equal hit proves the layout — the directory walk is a pure
 #: function of those bytes.
-_DIR_CACHE: Dict[bytes, Dict[str, int]] = {}
 _DIR_CACHE_MAX = 1 << 10
 _DIR_CACHE_FIELDS = 18  # bounds speculative-key size to ~128 octets
+_DIR_CACHE = _LruCache(_DIR_CACHE_MAX, "codec.flat.dir_cache.evictions")
 
 #: Same idea for list size-prefix blocks: count word + size words →
 #: relative element offsets.  List blocks are fixed-width, so the key
 #: is exact (no window needed); the item cap bounds key size.
-_LIST_DIR_CACHE: Dict[bytes, Tuple[int, ...]] = {}
+_LIST_DIR_CACHE = _LruCache(_DIR_CACHE_MAX, "codec.flat.list_cache.evictions")
 _LIST_CACHE_ITEMS = 64
 
 #: Envelope window → ``(p_rel, c_rel, v_rel)`` route plan, derived from
 #: :data:`_DIR_CACHE` once per distinct envelope layout.  Saves the
 #: three per-call field-dict lookups on the batched ingest path.
-_ROUTE_CACHE: Dict[bytes, Tuple[int, int, int]] = {}
+_ROUTE_CACHE = _LruCache(_DIR_CACHE_MAX, "codec.flat.route_cache.evictions")
 
 #: Two adjacent ``tag + int64`` cells in one unpack; the encoder always
 #: lays consecutive int fields out back to back, so paired scalars
@@ -108,10 +150,32 @@ class FlatCodec(Codec):
     name = "fb"
 
     def encode(self, value: Any) -> bytes:
+        if _codegen.ENABLED:
+            out = _codegen.kernel_encode("fb", value)
+            if out is not None:
+                return out
+        return self.encode_interpretive(value)
+
+    def decode(self, data: bytes) -> Any:
+        """Decode via a generated kernel when one matches, else lazily.
+
+        Kernel-decoded envelopes come back as plain materialized dicts
+        (the kernel's fused unpacks beat lazy access for shapes whose
+        fields the caller touches anyway); everything else returns the
+        interpretive lazy view.
+        """
+        if _codegen.ENABLED:
+            out = _codegen.kernel_decode("fb", data)
+            if out is not None:
+                return out
+        return self.decode_interpretive(data)
+
+    def encode_interpretive(self, value: Any) -> bytes:
+        """The original field-walking encoder (differential-test oracle)."""
         body = _encode_value(value, 0)
         return _HEADER.pack(_MAGIC, _VERSION, 0, len(body)) + body
 
-    def decode(self, data: bytes) -> Any:
+    def decode_interpretive(self, data: bytes) -> Any:
         """Validate the header and return a lazy view (O(1) work).
 
         Scalars at the root are returned directly; dict/list roots come
@@ -163,8 +227,7 @@ class FlatCodec(Codec):
                             and "v" in fields
                         ):
                             plan = (fields["p"], fields["c"], fields["v"])
-                            if len(_ROUTE_CACHE) < _DIR_CACHE_MAX:
-                                _ROUTE_CACHE[window] = plan
+                            _ROUTE_CACHE.put(window, plan)
                     if plan is not None:
                         value_base = off + 5 + 7 * count
                         p_rel, c_rel, v_rel = plan
@@ -358,8 +421,7 @@ class FlatListView:
                     raise CodecError(
                         f"flat list sizes truncated: {len(rels)} < {count}"
                     )
-                if len(_LIST_DIR_CACHE) < _DIR_CACHE_MAX:
-                    _LIST_DIR_CACHE[block] = rels
+                _LIST_DIR_CACHE.put(block, rels)
         else:
             acc = 0
             offsets = []
@@ -453,12 +515,8 @@ class FlatView:
         for key, size in zip(keys_list, sizes):
             fields[key] = rel
             rel += size
-        if (
-            count <= _DIR_CACHE_FIELDS
-            and cursor - offset - 5 == 7 * count
-            and len(_DIR_CACHE) < _DIR_CACHE_MAX
-        ):
-            _DIR_CACHE[window] = fields
+        if count <= _DIR_CACHE_FIELDS and cursor - offset - 5 == 7 * count:
+            _DIR_CACHE.put(window, fields)
         self._buf = buf
         self._base = cursor
         self._fields = fields

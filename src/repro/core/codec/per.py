@@ -19,6 +19,7 @@ import struct
 from typing import Any, Dict
 
 from repro.core.codec import base
+from repro.core.codec import codegen as _codegen
 from repro.core.codec.base import Codec, CodecError
 from repro.core.codec.bitio import BitReader, BitWriter
 
@@ -46,12 +47,28 @@ class PerCodec(Codec):
     name = "asn"
 
     def encode(self, value: Any) -> bytes:
+        if _codegen.ENABLED:
+            out = _codegen.kernel_encode("asn", value)
+            if out is not None:
+                return out
+        return self.encode_interpretive(value)
+
+    def decode(self, data: bytes) -> Any:
+        if _codegen.ENABLED:
+            out = _codegen.kernel_decode("asn", data)
+            if out is not None:
+                return out
+        return self.decode_interpretive(data)
+
+    def encode_interpretive(self, value: Any) -> bytes:
+        """The original field-walking encoder (differential-test oracle)."""
         writer = BitWriter()
         self._encode_value(writer, value, 0)
         writer.align()
         return writer.getvalue()
 
-    def decode(self, data: bytes) -> Any:
+    def decode_interpretive(self, data: bytes) -> Any:
+        """The original field-walking decoder (differential-test oracle)."""
         reader = BitReader(data)
         try:
             return self._decode_value(reader)

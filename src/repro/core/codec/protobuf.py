@@ -15,6 +15,7 @@ import struct
 from typing import Any, List, Tuple
 
 from repro.core.codec import base
+from repro.core.codec import codegen as _codegen
 from repro.core.codec.base import Codec, CodecError, validate_tree
 
 _F64 = struct.Struct("<d")
@@ -90,12 +91,28 @@ class ProtobufCodec(Codec):
     name = "pb"
 
     def encode(self, value: Any) -> bytes:
+        if _codegen.ENABLED:
+            out = _codegen.kernel_encode("pb", value)
+            if out is not None:
+                return out
+        return self.encode_interpretive(value)
+
+    def decode(self, data: bytes) -> Any:
+        if _codegen.ENABLED:
+            out = _codegen.kernel_decode("pb", data)
+            if out is not None:
+                return out
+        return self.decode_interpretive(data)
+
+    def encode_interpretive(self, value: Any) -> bytes:
+        """The original field-walking encoder (differential-test oracle)."""
         validate_tree(value)
         out = bytearray()
         self._encode_value(out, value)
         return bytes(out)
 
-    def decode(self, data: bytes) -> Any:
+    def decode_interpretive(self, data: bytes) -> Any:
+        """The original field-walking decoder (differential-test oracle)."""
         try:
             value, pos = self._decode_value(data, 0)
         except (UnicodeDecodeError, ValueError, OverflowError, MemoryError, struct.error) as exc:

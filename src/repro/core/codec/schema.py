@@ -1,0 +1,561 @@
+"""Declarative wire schemas for E2AP messages and E2SM payloads.
+
+Every message shape in the SDK is described exactly once here as typed
+fields; the layout compiler (:mod:`repro.core.codec.codegen`) turns
+each (schema × codec) pair into a specialized encode/decode kernel with
+precomputed offsets and fused field access.  The codecs' interpretive
+walkers remain the differential-testing oracle, so a schema that drifts
+from the dataclass ``to_value``/``from_value`` shape is caught by the
+golden vectors and the property sweep, not by an interop break.
+
+The schema language (DESIGN.md §11):
+
+* :class:`Int` — arbitrary integer (kernels specialize the int64 and
+  small-int ranges, deferring to the interpreter outside them)
+* :class:`ConstInt` — integer whose value is fixed by the schema (the
+  ``p``/``c`` envelope discriminators), folded into constant bytes
+* :class:`Bool`, :class:`F64`, :class:`Str`, :class:`Bytes` — scalars
+* :class:`Opt` — value may be ``None`` (optional IEs)
+* :class:`Nested` — sub-struct with a fixed, ordered key set
+* :class:`Seq` — homogeneous repeated group
+* :class:`StrMap` — open string→string table (config dictionaries)
+
+Field order is significant: it is the wire order for every codec.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class Spec:
+    """Base class of all field type specs."""
+
+    __slots__ = ()
+    kind = "?"
+
+    def describe(self) -> str:
+        return self.kind
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Int(Spec):
+    """Arbitrary-precision integer field."""
+
+    __slots__ = ()
+    kind = "int"
+
+
+class ConstInt(Spec):
+    """Integer fixed to ``value`` by the schema (envelope discriminators)."""
+
+    __slots__ = ("value",)
+    kind = "const_int"
+
+    def __init__(self, value: int) -> None:
+        self.value = int(value)
+
+    def describe(self) -> str:
+        return f"const_int({self.value})"
+
+    def __repr__(self) -> str:
+        return f"ConstInt({self.value})"
+
+
+class Bool(Spec):
+    __slots__ = ()
+    kind = "bool"
+
+
+class F64(Spec):
+    __slots__ = ()
+    kind = "f64"
+
+
+class Str(Spec):
+    __slots__ = ()
+    kind = "str"
+
+
+class Bytes(Spec):
+    __slots__ = ()
+    kind = "bytes"
+
+
+class Opt(Spec):
+    """``None`` or ``inner``; used for optional IEs."""
+
+    __slots__ = ("inner",)
+    kind = "opt"
+
+    def __init__(self, inner: Spec) -> None:
+        self.inner = inner
+
+    def describe(self) -> str:
+        return f"opt[{self.inner.describe()}]"
+
+
+class Nested(Spec):
+    """A sub-struct with the fixed field set of ``schema``."""
+
+    __slots__ = ("schema",)
+    kind = "nested"
+
+    def __init__(self, schema: "Schema") -> None:
+        self.schema = schema
+
+    def describe(self) -> str:
+        return self.schema.name
+
+
+class Seq(Spec):
+    """A list of ``elem``-shaped values."""
+
+    __slots__ = ("elem",)
+    kind = "seq"
+
+    def __init__(self, elem: Spec) -> None:
+        self.elem = elem
+
+    def describe(self) -> str:
+        return f"seq[{self.elem.describe()}]"
+
+
+class StrMap(Spec):
+    """An open ``str → str`` table (keys unknown at compile time)."""
+
+    __slots__ = ()
+    kind = "strmap"
+
+
+class Schema:
+    """An ordered, named collection of typed fields."""
+
+    __slots__ = ("name", "fields")
+
+    def __init__(self, name: str, fields: List[Tuple[str, Spec]]) -> None:
+        self.name = name
+        self.fields = tuple(fields)
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(key for key, _spec in self.fields)
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{key}: {spec.describe()}" for key, spec in self.fields)
+        return f"{self.name}{{{inner}}}"
+
+    def __repr__(self) -> str:
+        return f"Schema({self.name!r}, {len(self.fields)} fields)"
+
+
+# ---------------------------------------------------------------------------
+# Shared information-element schemas (core/e2ap/ies.py, procedures.py)
+# ---------------------------------------------------------------------------
+
+CAUSE = Schema("Cause", [("k", Int()), ("v", Int()), ("d", Str())])
+
+GLOBAL_E2_NODE_ID = Schema(
+    "GlobalE2NodeId", [("p", Str()), ("n", Int()), ("k", Int())]
+)
+
+RAN_FUNCTION_ITEM = Schema(
+    "RanFunctionItem",
+    [("i", Int()), ("d", Bytes()), ("r", Int()), ("o", Str())],
+)
+
+RIC_REQUEST_ID = Schema("RicRequestId", [("r", Int()), ("i", Int())])
+
+RIC_ACTION_DEFINITION = Schema(
+    "RicActionDefinition",
+    [("a", Int()), ("k", Int()), ("d", Bytes()), ("s", Bool())],
+)
+
+RIC_ACTION_ADMITTED = Schema("RicActionAdmitted", [("a", Int())])
+
+RIC_ACTION_NOT_ADMITTED = Schema(
+    "RicActionNotAdmitted", [("a", Int()), ("k", Int()), ("v", Int())]
+)
+
+TNL_INFORMATION = Schema("TnlInformation", [("a", Str()), ("p", Int())])
+
+
+# ---------------------------------------------------------------------------
+# E2AP message payload schemas, keyed (procedure, message class)
+# ---------------------------------------------------------------------------
+
+#: (procedure, class) → schema of the envelope's ``"v"`` payload.
+_MESSAGE_SCHEMAS: Dict[Tuple[int, int], Schema] = {}
+
+#: name → schema for inner (E2SM) payloads and other bare trees.
+_PAYLOAD_SCHEMAS: Dict[str, Schema] = {}
+
+
+def register_message_schema(key: Tuple[int, int], schema: Schema) -> Schema:
+    """Associate ``schema`` with an E2AP (procedure, class) pair."""
+    key = (int(key[0]), int(key[1]))
+    if key in _MESSAGE_SCHEMAS:
+        raise ValueError(f"duplicate message schema registration: {key}")
+    _MESSAGE_SCHEMAS[key] = schema
+    return schema
+
+
+def register_payload_schema(schema: Schema) -> Schema:
+    """Register a named bare-tree schema (E2SM payloads, triggers)."""
+    if schema.name in _PAYLOAD_SCHEMAS:
+        raise ValueError(f"duplicate payload schema registration: {schema.name}")
+    _PAYLOAD_SCHEMAS[schema.name] = schema
+    return schema
+
+
+def message_schema(procedure: int, msg_class: int) -> Optional[Schema]:
+    return _MESSAGE_SCHEMAS.get((int(procedure), int(msg_class)))
+
+
+def payload_schema(name: str) -> Optional[Schema]:
+    return _PAYLOAD_SCHEMAS.get(name)
+
+
+def message_schema_keys() -> List[Tuple[int, int]]:
+    return sorted(_MESSAGE_SCHEMAS)
+
+
+def payload_schema_names() -> List[str]:
+    return sorted(_PAYLOAD_SCHEMAS)
+
+
+def envelope_schema(procedure: int, msg_class: int) -> Optional[Schema]:
+    """Full-message schema: ``{"p": const, "c": const, "v": payload}``.
+
+    The discriminators are :class:`ConstInt`, so kernels fold them into
+    constant wire bytes and the decode side turns them into a cheap
+    prefix comparison.
+    """
+    body = message_schema(procedure, msg_class)
+    if body is None:
+        return None
+    return Schema(
+        f"envelope_{int(procedure)}_{int(msg_class)}",
+        [
+            ("p", ConstInt(int(procedure))),
+            ("c", ConstInt(int(msg_class))),
+            ("v", Nested(body)),
+        ],
+    )
+
+
+# Procedure codes are hard numbers here on purpose: the schema layer
+# sits below core.e2ap and must not import it (messages.py imports the
+# codecs, which import this module).  tests/test_codec_codegen.py
+# asserts the numbers agree with ProcedureCode/MessageClass.
+
+# E2_SETUP = 1
+register_message_schema(
+    (1, 0),
+    Schema(
+        "E2SetupRequest",
+        [("n", Nested(GLOBAL_E2_NODE_ID)), ("f", Seq(Nested(RAN_FUNCTION_ITEM)))],
+    ),
+)
+register_message_schema(
+    (1, 1),
+    Schema(
+        "E2SetupResponse",
+        [("r", Int()), ("a", Seq(Int())), ("j", Seq(Int()))],
+    ),
+)
+register_message_schema(
+    (1, 2),
+    Schema("E2SetupFailure", [("c", Nested(CAUSE)), ("t", F64())]),
+)
+
+# ERROR_INDICATION = 2
+register_message_schema(
+    (2, 0),
+    Schema("ErrorIndication", [("c", Nested(CAUSE)), ("f", Opt(Int()))]),
+)
+
+# RESET = 3
+register_message_schema((3, 0), Schema("ResetRequest", [("c", Nested(CAUSE))]))
+register_message_schema((3, 1), Schema("ResetResponse", []))
+
+# RIC_CONTROL = 4
+register_message_schema(
+    (4, 0),
+    Schema(
+        "RicControlRequest",
+        [
+            ("q", Nested(RIC_REQUEST_ID)),
+            ("f", Int()),
+            ("h", Bytes()),
+            ("m", Bytes()),
+            ("k", Bool()),
+        ],
+    ),
+)
+register_message_schema(
+    (4, 1),
+    Schema(
+        "RicControlAcknowledge",
+        [("q", Nested(RIC_REQUEST_ID)), ("f", Int()), ("o", Bytes())],
+    ),
+)
+register_message_schema(
+    (4, 2),
+    Schema(
+        "RicControlFailure",
+        [("q", Nested(RIC_REQUEST_ID)), ("f", Int()), ("c", Nested(CAUSE))],
+    ),
+)
+
+# RIC_INDICATION = 5
+register_message_schema(
+    (5, 0),
+    Schema(
+        "RicIndication",
+        [
+            ("q", Nested(RIC_REQUEST_ID)),
+            ("f", Int()),
+            ("a", Int()),
+            ("s", Int()),
+            ("k", Int()),
+            ("h", Bytes()),
+            ("m", Bytes()),
+        ],
+    ),
+)
+
+# RIC_SERVICE_QUERY = 6
+register_message_schema(
+    (6, 0), Schema("RicServiceQuery", [("k", Seq(Int()))])
+)
+
+# RIC_SERVICE_UPDATE = 7
+register_message_schema(
+    (7, 0),
+    Schema(
+        "RicServiceUpdate",
+        [
+            ("a", Seq(Nested(RAN_FUNCTION_ITEM))),
+            ("m", Seq(Nested(RAN_FUNCTION_ITEM))),
+            ("r", Seq(Int())),
+        ],
+    ),
+)
+register_message_schema(
+    (7, 1),
+    Schema(
+        "RicServiceUpdateAcknowledge", [("a", Seq(Int())), ("r", Seq(Int()))]
+    ),
+)
+register_message_schema(
+    (7, 2), Schema("RicServiceUpdateFailure", [("c", Nested(CAUSE))])
+)
+
+# RIC_SUBSCRIPTION = 8
+register_message_schema(
+    (8, 0),
+    Schema(
+        "RicSubscriptionRequest",
+        [
+            ("q", Nested(RIC_REQUEST_ID)),
+            ("f", Int()),
+            ("t", Bytes()),
+            ("a", Seq(Nested(RIC_ACTION_DEFINITION))),
+        ],
+    ),
+)
+register_message_schema(
+    (8, 1),
+    Schema(
+        "RicSubscriptionResponse",
+        [
+            ("q", Nested(RIC_REQUEST_ID)),
+            ("f", Int()),
+            ("a", Seq(Nested(RIC_ACTION_ADMITTED))),
+            ("n", Seq(Nested(RIC_ACTION_NOT_ADMITTED))),
+        ],
+    ),
+)
+register_message_schema(
+    (8, 2),
+    Schema(
+        "RicSubscriptionFailure",
+        [("q", Nested(RIC_REQUEST_ID)), ("f", Int()), ("c", Nested(CAUSE))],
+    ),
+)
+
+# RIC_SUBSCRIPTION_DELETE = 9
+register_message_schema(
+    (9, 0),
+    Schema(
+        "RicSubscriptionDeleteRequest",
+        [("q", Nested(RIC_REQUEST_ID)), ("f", Int())],
+    ),
+)
+register_message_schema(
+    (9, 1),
+    Schema(
+        "RicSubscriptionDeleteResponse",
+        [("q", Nested(RIC_REQUEST_ID)), ("f", Int())],
+    ),
+)
+register_message_schema(
+    (9, 2),
+    Schema(
+        "RicSubscriptionDeleteFailure",
+        [("q", Nested(RIC_REQUEST_ID)), ("f", Int()), ("c", Nested(CAUSE))],
+    ),
+)
+
+# E2_NODE_CONFIGURATION_UPDATE = 10
+register_message_schema(
+    (10, 0),
+    Schema(
+        "E2NodeConfigurationUpdate",
+        [("n", Nested(GLOBAL_E2_NODE_ID)), ("c", StrMap())],
+    ),
+)
+register_message_schema(
+    (10, 1), Schema("E2NodeConfigurationUpdateAcknowledge", [])
+)
+register_message_schema(
+    (10, 2),
+    Schema("E2NodeConfigurationUpdateFailure", [("c", Nested(CAUSE))]),
+)
+
+# E2_CONNECTION_UPDATE = 11
+register_message_schema(
+    (11, 0),
+    Schema(
+        "E2ConnectionUpdate",
+        [("a", Seq(Nested(TNL_INFORMATION))), ("r", Seq(Nested(TNL_INFORMATION)))],
+    ),
+)
+register_message_schema(
+    (11, 1),
+    Schema(
+        "E2ConnectionUpdateAcknowledge", [("c", Seq(Nested(TNL_INFORMATION)))]
+    ),
+)
+register_message_schema(
+    (11, 2),
+    Schema("E2ConnectionUpdateFailure", [("c", Nested(CAUSE))]),
+)
+
+
+# ---------------------------------------------------------------------------
+# E2SM payload schemas (sm/*.py) and other bare trees
+# ---------------------------------------------------------------------------
+
+register_payload_schema(Schema("periodic_trigger", [("period_ms", F64())]))
+
+KPM_MEASUREMENT = Schema("KpmMeasurement", [("name", Str()), ("value", F64())])
+register_payload_schema(
+    Schema(
+        "kpm_report",
+        [
+            ("style", Int()),
+            ("measurements", Seq(Nested(KPM_MEASUREMENT))),
+            ("granularity_ms", F64()),
+            ("tstamp_ms", F64()),
+        ],
+    )
+)
+register_payload_schema(
+    Schema("kpm_action", [("style", Int()), ("metrics", Seq(Str()))])
+)
+
+MAC_UE_STATS = Schema(
+    "MacUeStats",
+    [
+        ("rnti", Int()),
+        ("cqi", Int()),
+        ("mcs_dl", Int()),
+        ("mcs_ul", Int()),
+        ("prbs_dl", Int()),
+        ("prbs_ul", Int()),
+        ("bytes_dl", Int()),
+        ("bytes_ul", Int()),
+        ("slice_id", Int()),
+    ],
+)
+register_payload_schema(
+    Schema(
+        "mac_stats_report",
+        [("ues", Seq(Nested(MAC_UE_STATS))), ("tstamp_ms", F64())],
+    )
+)
+
+RLC_BEARER_STATS = Schema(
+    "RlcBearerStats",
+    [
+        ("rnti", Int()),
+        ("bearer_id", Int()),
+        ("buffer_bytes", Int()),
+        ("buffer_pkts", Int()),
+        ("sojourn_ms", F64()),
+        ("tx_pdus", Int()),
+        ("tx_bytes", Int()),
+        ("rx_pdus", Int()),
+        ("rx_bytes", Int()),
+        ("dropped", Int()),
+    ],
+)
+register_payload_schema(
+    Schema(
+        "rlc_stats_report",
+        [("bearers", Seq(Nested(RLC_BEARER_STATS))), ("tstamp_ms", F64())],
+    )
+)
+
+PDCP_BEARER_STATS = Schema(
+    "PdcpBearerStats",
+    [
+        ("rnti", Int()),
+        ("bearer_id", Int()),
+        ("tx_pkts", Int()),
+        ("tx_bytes", Int()),
+        ("rx_pkts", Int()),
+        ("rx_bytes", Int()),
+    ],
+)
+register_payload_schema(
+    Schema(
+        "pdcp_stats_report",
+        [("bearers", Seq(Nested(PDCP_BEARER_STATS))), ("tstamp_ms", F64())],
+    )
+)
+
+register_payload_schema(
+    Schema(
+        "ni_message",
+        [("if", Str()), ("proc", Str()), ("pl", Bytes()), ("dir", Str())],
+    )
+)
+register_payload_schema(
+    Schema("ni_action", [("if", Str()), ("procs", Seq(Str()))])
+)
+register_payload_schema(
+    Schema(
+        "ni_policy",
+        [("if", Str()), ("procs", Seq(Str())), ("verdict", Str())],
+    )
+)
+register_payload_schema(Schema("ni_insert_header", [("call_id", Int())]))
+register_payload_schema(Schema("hw_ping", [("seq", Int()), ("data", Bytes())]))
+register_payload_schema(
+    Schema("ni_resume", [("resume", Bool()), ("call_id", Int())])
+)
+
+
+def describe_all() -> str:
+    """Deterministic dump of every registered schema (docs, debugging)."""
+    lines = []
+    for key in message_schema_keys():
+        lines.append(f"e2ap {key}: {_MESSAGE_SCHEMAS[key].describe()}")
+    for name in payload_schema_names():
+        lines.append(f"payload {name}: {_PAYLOAD_SCHEMAS[name].describe()}")
+    return "\n".join(lines)

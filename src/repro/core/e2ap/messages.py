@@ -183,13 +183,20 @@ def _encode_message(msg: E2Message, codec: Codec) -> bytes:
             return wire
         _cache_misses.incr()
         tree = {"p": int(msg.procedure), "c": int(msg.msg_class), "v": msg.to_value()}
-        wire = codec.encode(tree)
+        wire = _encode_tree(msg, codec, tree)
         if len(cache) >= _ENCODE_CACHE_MAX:
             del cache[next(iter(cache))]
         cache[key] = wire
         return wire
     tree = {"p": int(msg.procedure), "c": int(msg.msg_class), "v": msg.to_value()}
-    return codec.encode(tree)
+    return _encode_tree(msg, codec, tree)
+
+
+def _encode_tree(msg: E2Message, codec: Codec, tree: dict) -> bytes:
+    try:
+        return codec.encode(tree)
+    except CodecError as exc:
+        raise exc.with_context(message_type=type(msg).__name__)
 
 
 def decode_message(data: bytes, codec: Codec) -> E2Message:
@@ -214,13 +221,36 @@ def decode_message(data: bytes, codec: Codec) -> E2Message:
 
 
 def _decode_message(data: bytes, codec: Codec) -> E2Message:
-    tree = codec.decode(data)
-    key = (tree["p"], tree["c"])
+    try:
+        tree = codec.decode(data)
+    except CodecError as exc:
+        raise exc.with_context(message_type="E2AP envelope")
+    try:
+        key = (tree["p"], tree["c"])
+    except (KeyError, TypeError) as exc:
+        raise CodecError(
+            f"E2AP envelope missing dispatch header: {exc}",
+            message_type="E2AP envelope",
+            field="p/c",
+        ) from exc
     try:
         cls = _MESSAGE_TYPES[key]
     except KeyError:
-        raise CodecError(f"unknown E2AP message key {key}") from None
-    return cls.from_value(tree["v"])
+        raise CodecError(
+            f"unknown E2AP message key {key}",
+            message_type="E2AP envelope",
+            field="p/c",
+        ) from None
+    try:
+        return cls.from_value(tree["v"])
+    except CodecError as exc:
+        raise exc.with_context(message_type=cls.__name__)
+    except KeyError as exc:
+        raise CodecError(
+            f"missing field in {cls.__name__} body: {exc}",
+            message_type=cls.__name__,
+            field=str(exc.args[0]) if exc.args else None,
+        ) from exc
 
 
 def peek_procedure(data: bytes, codec: Codec) -> Tuple[ProcedureCode, MessageClass]:

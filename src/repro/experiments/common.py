@@ -10,6 +10,7 @@
 
 from __future__ import annotations
 
+import functools
 import threading
 import time
 from dataclasses import dataclass, field
@@ -29,9 +30,35 @@ from repro.core.server.server import Server, ServerConfig
 from repro.core.server.submgr import SubscriptionCallbacks
 from repro.core.codec.base import get_codec
 from repro.core.e2ap.ies import RicRequestId
+from repro.core.codec import codegen as _codegen
 from repro.core.transport.base import Transport
 from repro.sm import hw
 from repro.sm.base import PeriodicTrigger
+
+
+def cost_model_codecs():
+    """Pin the interpretive codec walkers for a measurement harness.
+
+    The paper's codec figures (7, 8, 9) compare the *modelled* cost
+    profiles of asn1c, flatcc and Protobuf — which is exactly what the
+    interpretive walkers reproduce.  The generated kernels
+    (:mod:`repro.core.codec.codegen`) optimize this SDK's own hot path
+    and deliberately erase that asymmetry, so harnesses reproducing the
+    paper's library comparisons must run with kernels disabled.
+    ``bench_codec_micro.py`` measures the kernels themselves.
+    """
+    return _codegen.interpretive()
+
+
+def pin_cost_model(fn):
+    """Decorator running a measurement under :func:`cost_model_codecs`."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with cost_model_codecs():
+            return fn(*args, **kwargs)
+
+    return wrapper
 
 
 class HwPingerIApp(IApp):

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.flexran import FlexRanAgent, FlexRanController
 from repro.core.transport.tcp import TcpTransport
-from repro.experiments.common import signaling_rate_mbps
+from repro.experiments.common import pin_cost_model, signaling_rate_mbps
 from repro.metrics import trace as trace_mod
 from repro.metrics.stats import Summary, summarize
 
@@ -69,6 +69,7 @@ class RttResult:
         return row
 
 
+@pin_cost_model
 def run_flexric_rtt(
     e2ap_codec: str, e2sm_codec: str, payload: int, pings: int = 50,
     traced: bool = False,
@@ -132,6 +133,7 @@ def run_flexric_rtt(
             trace_mod.disable()
 
 
+@pin_cost_model
 def run_flexric_rtt_inproc(
     e2ap_codec: str, e2sm_codec: str, payload: int, pings: int = 50,
     traced: bool = False,
@@ -173,6 +175,7 @@ def run_flexric_rtt_inproc(
             trace_mod.disable()
 
 
+@pin_cost_model
 def run_flexran_rtt(payload: int, pings: int = 50) -> RttResult:
     """FlexRAN baseline: echo over its single-encoded protocol."""
     transport = TcpTransport()

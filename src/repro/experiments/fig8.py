@@ -25,6 +25,7 @@ from repro.core.agent.agent import Agent, AgentConfig
 from repro.core.e2ap.ies import GlobalE2NodeId, NodeKind
 from repro.core.server.server import Server, ServerConfig
 from repro.core.transport.inproc import InProcTransport
+from repro.experiments.common import pin_cost_model
 from repro.metrics.cpu import CpuMeter
 from repro.sm import mac_stats
 from repro.sm.mac_stats import MacStatsFunction, synthetic_provider
@@ -64,6 +65,7 @@ def _dummy_agent(
     return function
 
 
+@pin_cost_model
 def run_flexric_controller(
     reports: int = 1000, period_ms: float = 1.0, n_ues: int = 32
 ) -> ControllerResult:
@@ -87,6 +89,7 @@ def run_flexric_controller(
     )
 
 
+@pin_cost_model
 def run_flexran_controller(
     reports: int = 1000, period_ms: float = 1.0, n_ues: int = 32
 ) -> ControllerResult:
@@ -132,6 +135,7 @@ class ScalabilityPoint:
     signaling_mbps: float
 
 
+@pin_cost_model
 def run_fig8b_point(
     e2ap_codec: str,
     n_agents: int,

@@ -32,7 +32,7 @@ from repro.core.e2ap.ies import GlobalE2NodeId, NodeKind
 from repro.core.server.server import Server, ServerConfig
 from repro.core.transport.inproc import InProcTransport
 from repro.core.transport.tcp import TcpTransport
-from repro.experiments.common import HwPingerIApp
+from repro.experiments.common import HwPingerIApp, pin_cost_model
 from repro.experiments.fig8 import CONTROLLER_CORES, _dummy_agent
 from repro.metrics.cpu import CpuMeter
 from repro.metrics.stats import Summary, summarize
@@ -48,6 +48,7 @@ class TwoHopRtt:
     stages: Optional[Dict[str, dict]] = None
 
 
+@pin_cost_model
 def run_flexric_two_hop(
     codec: str, payload: int, pings: int = 30, traced: bool = False
 ) -> TwoHopRtt:
@@ -119,6 +120,7 @@ def run_flexric_two_hop(
             trace_mod.disable()
 
 
+@pin_cost_model
 def run_oran_two_hop(payload: int, pings: int = 30) -> TwoHopRtt:
     """Ping through the O-RAN RIC (E2 term + RMR + xApp double decode)."""
     transport = TcpTransport()
@@ -177,6 +179,7 @@ class MonitoringComparison:
     memory_mb: float
 
 
+@pin_cost_model
 def run_fig9b(
     n_agents: int = 10, reports: int = 200, period_ms: float = 1.0, n_ues: int = 32
 ) -> List[MonitoringComparison]:

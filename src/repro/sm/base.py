@@ -21,6 +21,7 @@ from repro.core.agent.ran_function import (
     RanFunction,
     SubscriptionHandle,
 )
+from repro.core.codec import codegen as _codegen
 from repro.core.codec.base import CodecError, get_codec, materialize
 from repro.metrics.counters import get_counter
 from repro.core.e2ap.ies import (
@@ -41,15 +42,38 @@ class SmInfo:
     oid: str
     default_function_id: int
     version: int = 1
+    #: Name of the registered payload schema for this SM's report
+    #: payloads (see :mod:`repro.core.codec.schema`); lets the periodic
+    #: reporter use the generated codec kernel for its hot encode.
+    payload_schema: Optional[str] = None
 
 
-def encode_payload(value: Any, codec_name: str) -> bytes:
-    """Encode an SM payload tree with the SM's codec (inner encoding)."""
+def encode_payload(value: Any, codec_name: str, schema: Optional[str] = None) -> bytes:
+    """Encode an SM payload tree with the SM's codec (inner encoding).
+
+    ``schema`` names a registered payload schema; when given and a
+    generated kernel exists for (codec, schema), the kernel encodes the
+    tree directly (falling back to the interpretive walker on any shape
+    mismatch, so callers may pass a best-guess schema).
+    """
+    if schema is not None and _codegen.ENABLED:
+        out = _codegen.payload_encode(codec_name, schema, value)
+        if out is not None:
+            return out
     return get_codec(codec_name).encode(value)
 
 
-def decode_payload(data: bytes, codec_name: str) -> Any:
-    """Decode an SM payload; lazy codecs return lazy views."""
+def decode_payload(data: bytes, codec_name: str, schema: Optional[str] = None) -> Any:
+    """Decode an SM payload; lazy codecs return lazy views.
+
+    With ``schema`` the generated kernel is tried first and returns a
+    plain materialized tree; a wire/schema mismatch falls back to the
+    interpretive decoder, so the schema is a hint, not a contract.
+    """
+    if schema is not None and _codegen.ENABLED:
+        out = _codegen.payload_decode(codec_name, schema, data)
+        if out is not None:
+            return out
     return get_codec(codec_name).decode(data)
 
 
@@ -72,11 +96,13 @@ class PeriodicTrigger:
     period_ms: float
 
     def to_bytes(self, codec_name: str) -> bytes:
-        return encode_payload({"period_ms": self.period_ms}, codec_name)
+        return encode_payload(
+            {"period_ms": self.period_ms}, codec_name, schema="periodic_trigger"
+        )
 
     @classmethod
     def from_bytes(cls, data: bytes, codec_name: str) -> "PeriodicTrigger":
-        tree = decode_payload(data, codec_name)
+        tree = decode_payload(data, codec_name, schema="periodic_trigger")
         return cls(period_ms=tree["period_ms"])
 
 
@@ -190,7 +216,9 @@ class PeriodicReportFunction(RanFunction):
     def _report(self, handle: SubscriptionHandle) -> None:
         visible = self.visibility(handle.origin)
         payload_tree = self.provider(visible)
-        payload = encode_payload(payload_tree, self.sm_codec)
+        payload = encode_payload(
+            payload_tree, self.sm_codec, schema=self.info.payload_schema
+        )
         # One coalesced transport write per tick, however many report
         # actions the subscription admitted.
         self.emit_many(

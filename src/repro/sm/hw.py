@@ -31,20 +31,20 @@ INFO = SmInfo(name="HW", oid="1.3.6.1.4.1.53148.1.1.2.100", default_function_id=
 
 def build_ping(seq: int, payload: bytes, codec_name: str) -> bytes:
     """Controller side: SM-encode a ping control payload."""
-    return encode_payload({"seq": seq, "data": payload}, codec_name)
+    return encode_payload({"seq": seq, "data": payload}, codec_name, schema="hw_ping")
 
 
 def parse_ping(data: bytes, codec_name: str) -> Tuple[int, bytes]:
-    tree = decode_payload(data, codec_name)
+    tree = decode_payload(data, codec_name, schema="hw_ping")
     return tree["seq"], tree["data"]
 
 
 def build_pong(seq: int, payload: bytes, codec_name: str) -> bytes:
-    return encode_payload({"seq": seq, "data": payload}, codec_name)
+    return encode_payload({"seq": seq, "data": payload}, codec_name, schema="hw_ping")
 
 
 def parse_pong(data: bytes, codec_name: str) -> Tuple[int, bytes]:
-    tree = decode_payload(data, codec_name)
+    tree = decode_payload(data, codec_name, schema="hw_ping")
     return tree["seq"], tree["data"]
 
 

@@ -37,7 +37,12 @@ from repro.sm.base import (
     encode_payload,
 )
 
-INFO = SmInfo(name="KPM", oid="1.3.6.1.4.1.53148.1.1.2.2", default_function_id=2)
+INFO = SmInfo(
+    name="KPM",
+    oid="1.3.6.1.4.1.53148.1.1.2.2",
+    default_function_id=2,
+    payload_schema="kpm_report",
+)
 
 #: Report styles, mirroring E2SM-KPM's style list.
 STYLE_CELL_METRICS = 1   # DRB.UEThpDl, RRU.PrbTotDl, ...
@@ -56,7 +61,11 @@ def build_action_definition(style: int, metrics: Optional[List[str]], codec_name
     """Controller side: SM-encode the action definition."""
     if style not in STYLE_METRICS:
         raise ValueError(f"unknown KPM report style {style}")
-    return encode_payload({"style": style, "metrics": list(metrics or ())}, codec_name)
+    return encode_payload(
+        {"style": style, "metrics": list(metrics or ())},
+        codec_name,
+        schema="kpm_action",
+    )
 
 
 def parse_action_definition(data: bytes, codec_name: str) -> Tuple[int, List[str]]:
@@ -65,7 +74,7 @@ def parse_action_definition(data: bytes, codec_name: str) -> Tuple[int, List[str
     knowledge."""
     if not data:
         return STYLE_CELL_METRICS, []
-    tree = decode_payload(data, codec_name)
+    tree = decode_payload(data, codec_name, schema="kpm_action")
     return tree["style"], list(tree["metrics"])
 
 
@@ -199,7 +208,9 @@ class KpmFunction(RanFunction):
             wanted = metrics or list(STYLE_METRICS[style])
             samples = self.provider(style, wanted, visible)
             payload = encode_payload(
-                report_to_value(style, samples, period, 0.0), self.sm_codec
+                report_to_value(style, samples, period, 0.0),
+                self.sm_codec,
+                schema="kpm_report",
             )
             self.emit(handle, action_id, header=b"", payload=payload)
 

@@ -15,7 +15,12 @@ from typing import Any, List, Optional, Set
 
 from repro.sm.base import PeriodicReportFunction, SmInfo, StatsProvider, VisibilityFn
 
-INFO = SmInfo(name="MAC_STATS", oid="1.3.6.1.4.1.53148.1.1.2.142", default_function_id=142)
+INFO = SmInfo(
+    name="MAC_STATS",
+    oid="1.3.6.1.4.1.53148.1.1.2.142",
+    default_function_id=142,
+    payload_schema="mac_stats_report",
+)
 
 
 @dataclass

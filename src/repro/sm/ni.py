@@ -95,7 +95,9 @@ def build_action_definition(
     if interface not in INTERFACES:
         raise ValueError(f"unknown interface {interface!r}")
     return encode_payload(
-        {"if": interface, "procs": list(procedures or ())}, codec_name
+        {"if": interface, "procs": list(procedures or ())},
+        codec_name,
+        schema="ni_action",
     )
 
 
@@ -107,12 +109,13 @@ def build_policy_definition(
     return encode_payload(
         {"if": interface, "procs": list(procedures or ()), "verdict": verdict},
         codec_name,
+        schema="ni_policy",
     )
 
 
 def build_control(message: InterfaceMessage, codec_name: str) -> bytes:
     """Controller side: inject ``message`` into the named interface."""
-    return encode_payload(message.to_value(), codec_name)
+    return encode_payload(message.to_value(), codec_name, schema="ni_message")
 
 
 @dataclass
@@ -276,8 +279,12 @@ class NiFunction(RanFunction):
         kind: RicIndicationKind,
         call_id: int = 0,
     ) -> None:
-        header = encode_payload({"call_id": call_id}, self.sm_codec)
-        payload = encode_payload(message.to_value(), self.sm_codec)
+        header = encode_payload(
+            {"call_id": call_id}, self.sm_codec, schema="ni_insert_header"
+        )
+        payload = encode_payload(
+            message.to_value(), self.sm_codec, schema="ni_message"
+        )
         self.emit(handle, action_id, header=header, payload=payload, kind=kind)
 
     # -- control: resume a suspended call or inject a message ---------------
@@ -313,9 +320,11 @@ class NiFunction(RanFunction):
 
 def build_resume(call_id: int, proceed: bool, codec_name: str) -> bytes:
     """Controller side: answer a suspended insert."""
-    return encode_payload({"resume": proceed, "call_id": call_id}, codec_name)
+    return encode_payload(
+        {"resume": proceed, "call_id": call_id}, codec_name, schema="ni_resume"
+    )
 
 
 def parse_insert_header(header: bytes, codec_name: str) -> int:
     """Extract the call id from an insert indication's header."""
-    return decode_payload(header, codec_name)["call_id"]
+    return decode_payload(header, codec_name, schema="ni_insert_header")["call_id"]

@@ -15,7 +15,12 @@ from typing import Any, List, Optional
 
 from repro.sm.base import PeriodicReportFunction, SmInfo, StatsProvider, VisibilityFn
 
-INFO = SmInfo(name="PDCP_STATS", oid="1.3.6.1.4.1.53148.1.1.2.144", default_function_id=144)
+INFO = SmInfo(
+    name="PDCP_STATS",
+    oid="1.3.6.1.4.1.53148.1.1.2.144",
+    default_function_id=144,
+    payload_schema="pdcp_stats_report",
+)
 
 
 @dataclass

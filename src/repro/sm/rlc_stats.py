@@ -17,7 +17,12 @@ from typing import Any, List, Optional
 
 from repro.sm.base import PeriodicReportFunction, SmInfo, StatsProvider, VisibilityFn
 
-INFO = SmInfo(name="RLC_STATS", oid="1.3.6.1.4.1.53148.1.1.2.143", default_function_id=143)
+INFO = SmInfo(
+    name="RLC_STATS",
+    oid="1.3.6.1.4.1.53148.1.1.2.143",
+    default_function_id=143,
+    payload_schema="rlc_stats_report",
+)
 
 
 @dataclass

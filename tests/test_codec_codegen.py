@@ -1,0 +1,202 @@
+"""Tests for the codec codegen layer (schema → specialized kernels).
+
+Covers what the differential/golden suites don't: that kernels actually
+engage on the hot paths (hit/fallback counters), that the wire-probes
+recognize kernel-decodable buffers, that regeneration is deterministic,
+that the schema registry agrees with the E2AP message registry, and
+that the bounded flat-codec caches evict with a visible counter.
+"""
+
+import pytest
+
+from repro.core.codec import codegen, flat
+from repro.core.codec import schema as cschema
+from repro.core.codec.base import CodecError, get_codec, materialize
+from repro.core.e2ap.messages import decode_message, message_types
+from repro.metrics import counters
+
+
+@pytest.fixture(autouse=True)
+def _reset_counters():
+    counters.reset_counters("codec.")
+    yield
+
+
+def _indication_tree():
+    return {
+        "p": 5,
+        "c": 0,
+        "v": {
+            "q": {"r": 5, "i": 11},
+            "f": 2,
+            "a": 1,
+            "s": 1234,
+            "k": 0,
+            "h": b"hdr",
+            "m": b"p" * 100,
+        },
+    }
+
+
+class TestKernelDispatch:
+    @pytest.mark.parametrize("codec_name", ("asn", "fb", "pb"))
+    def test_encode_hits_counter(self, codec_name):
+        codec = get_codec(codec_name)
+        before = counters.get_counter("codec.kernel.encode_hits").value
+        wire = codec.encode(_indication_tree())
+        assert counters.get_counter("codec.kernel.encode_hits").value == before + 1
+        with codegen.interpretive():
+            assert codec.encode_interpretive(_indication_tree()) == wire
+
+    @pytest.mark.parametrize("codec_name", ("asn", "fb", "pb"))
+    def test_decode_hits_counter(self, codec_name):
+        codec = get_codec(codec_name)
+        wire = codec.encode(_indication_tree())
+        before = counters.get_counter("codec.kernel.decode_hits").value
+        tree = codec.decode(wire)
+        assert counters.get_counter("codec.kernel.decode_hits").value == before + 1
+        assert materialize(tree) == _indication_tree()
+
+    def test_shape_mismatch_falls_back(self):
+        # Envelope-shaped but with a body the RicIndication kernel
+        # cannot encode: the kernel deoptimizes, the interpretive
+        # walker produces the bytes, and the fallback is counted.
+        tree = {"p": 5, "c": 0, "v": {"unexpected": 1}}
+        codec = get_codec("fb")
+        before = counters.get_counter("codec.kernel.encode_fallbacks").value
+        wire = codec.encode(tree)
+        assert counters.get_counter("codec.kernel.encode_fallbacks").value == before + 1
+        with codegen.interpretive():
+            assert codec.encode_interpretive(tree) == wire
+
+    def test_non_envelope_trees_skip_kernels(self):
+        # Generic trees never match the envelope guard; no counters move.
+        codec = get_codec("fb")
+        before_hits = counters.get_counter("codec.kernel.encode_hits").value
+        before_falls = counters.get_counter("codec.kernel.encode_fallbacks").value
+        codec.encode({"a": 1, "b": [1, 2, 3]})
+        assert counters.get_counter("codec.kernel.encode_hits").value == before_hits
+        assert (
+            counters.get_counter("codec.kernel.encode_fallbacks").value == before_falls
+        )
+
+    def test_interpretive_context_disables_kernels(self):
+        codec = get_codec("asn")
+        before = counters.get_counter("codec.kernel.encode_hits").value
+        with codegen.interpretive():
+            assert not codegen.kernels_enabled()
+            codec.encode(_indication_tree())
+        assert codegen.kernels_enabled()
+        assert counters.get_counter("codec.kernel.encode_hits").value == before
+
+
+class TestProbes:
+    @pytest.mark.parametrize("codec_name", ("asn", "fb", "pb"))
+    def test_probe_reads_dispatch_header(self, codec_name):
+        wire = get_codec(codec_name).encode(_indication_tree())
+        assert codegen._PROBES[codec_name](wire) == (5, 0)
+
+    @pytest.mark.parametrize("codec_name", ("asn", "fb", "pb"))
+    def test_probe_rejects_garbage(self, codec_name):
+        probe = codegen._PROBES[codec_name]
+        assert probe(b"") is None
+        assert probe(b"\x00" * 8) is None
+        assert probe(b"garbage-bytes-here") is None
+
+    @pytest.mark.parametrize("codec_name", ("asn", "fb", "pb"))
+    def test_kernel_decode_rejects_non_envelope(self, codec_name):
+        wire = get_codec(codec_name).encode([1, 2, 3])
+        assert codegen.kernel_decode(codec_name, wire) is None
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("codec_name", ("asn", "fb", "pb"))
+    def test_regeneration_is_byte_identical(self, codec_name):
+        # CI determinism gate: generating every kernel twice must give
+        # exactly the same source text.
+        for key in cschema.message_schema_keys():
+            schema = cschema.envelope_schema(*key)
+            first = codegen.build_kernel_source(codec_name, schema)
+            second = codegen.build_kernel_source(codec_name, schema)
+            assert first == second, f"nondeterministic kernel for {key}"
+        for name in cschema.payload_schema_names():
+            schema = cschema.payload_schema(name)
+            first = codegen.build_kernel_source(codec_name, schema)
+            second = codegen.build_kernel_source(codec_name, schema)
+            assert first == second, f"nondeterministic kernel for {name}"
+
+    @pytest.mark.parametrize("codec_name", ("asn", "fb", "pb"))
+    def test_every_registered_shape_compiles(self, codec_name):
+        for key in cschema.message_schema_keys():
+            assert (
+                codegen.build_kernel_source(codec_name, cschema.envelope_schema(*key))
+                is not None
+            ), f"no kernel for envelope {key}"
+        for name in cschema.payload_schema_names():
+            assert (
+                codegen.build_kernel_source(codec_name, cschema.payload_schema(name))
+                is not None
+            ), f"no kernel for payload {name}"
+
+
+class TestSchemaRegistryAgreement:
+    def test_schema_keys_match_message_registry(self):
+        assert set(cschema.message_schema_keys()) == set(message_types().keys())
+
+    def test_schema_fields_match_message_lowering(self):
+        # Every message dataclass's to_value() keys must equal the
+        # declared schema's field keys, in order — the schema is the
+        # single source of truth the kernels compile from.
+        import tests.test_codec_golden as golden
+
+        for message in golden._messages().values():
+            key = (int(type(message).procedure), int(type(message).msg_class))
+            schema = cschema.message_schema(*key)
+            assert list(message.to_value().keys()) == list(schema.keys), (
+                type(message).__name__
+            )
+
+
+class TestCodecErrorContext:
+    def test_decode_truncated_carries_envelope_context(self):
+        wire = get_codec("asn").encode(_indication_tree())
+        with pytest.raises(CodecError) as excinfo:
+            decode_message(wire[:5], get_codec("asn"))
+        assert excinfo.value.message_type == "E2AP envelope"
+        assert "E2AP envelope" in str(excinfo.value)
+
+    def test_missing_body_field_carries_type_and_field(self):
+        wire = get_codec("pb").encode({"p": 5, "c": 0, "v": {"q": {"r": 1, "i": 2}}})
+        with pytest.raises(CodecError) as excinfo:
+            decode_message(wire, get_codec("pb"))
+        assert excinfo.value.message_type == "RicIndication"
+        assert excinfo.value.field == "f"
+
+    def test_unknown_key_carries_dispatch_field(self):
+        wire = get_codec("pb").encode({"p": 77, "c": 0, "v": {}})
+        with pytest.raises(CodecError) as excinfo:
+            decode_message(wire, get_codec("pb"))
+        assert excinfo.value.field == "p/c"
+
+
+class TestLruCaches:
+    def test_eviction_counter_increments(self):
+        cache = flat._LruCache(4, "codec.flat.test_cache.evictions")
+        for index in range(6):
+            cache.put(index, index)
+        assert len(cache) == 4
+        assert counters.get_counter("codec.flat.test_cache.evictions").value == 2
+
+    def test_get_refreshes_recency(self):
+        cache = flat._LruCache(2, "codec.flat.test_cache2.evictions")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh: "b" is now least recent
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_flat_dir_cache_is_bounded(self):
+        assert isinstance(flat._DIR_CACHE, flat._LruCache)
+        assert isinstance(flat._LIST_DIR_CACHE, flat._LruCache)
+        assert isinstance(flat._ROUTE_CACHE, flat._LruCache)

@@ -90,3 +90,95 @@ def test_per_octet_fragments_any_length(payload):
     """The fragmented octet-string path must handle every length."""
     codec = get_codec("asn")
     assert codec.decode(codec.encode(payload)) == payload
+
+
+# ---------------------------------------------------------------------------
+# Differential sweep: generated kernels ≡ interpretive oracle (ISSUE 6)
+# ---------------------------------------------------------------------------
+
+import pytest
+
+from repro.core.codec import codegen
+from repro.core.codec import schema as cschema
+from repro.sm.base import decode_payload, encode_payload
+
+
+@pytest.fixture(autouse=True)
+def _strict_kernels():
+    # A kernel must deoptimize via guards (returning None), never by
+    # swallowing an exception; strict mode turns silent fallbacks on
+    # kernel bugs into test failures.
+    codegen.set_strict(True)
+    yield
+    codegen.set_strict(False)
+
+
+def _spec_strategy(spec):
+    kind = spec.kind
+    if kind == "int":
+        # Mostly int64-range values (kernel fast path) with occasional
+        # big ints that force the guarded fallback; both must agree.
+        return st.one_of(
+            st.integers(min_value=-(2**62), max_value=2**62),
+            st.integers(min_value=-(2**80), max_value=2**80),
+        )
+    if kind == "const_int":
+        return st.just(spec.value)
+    if kind == "bool":
+        return st.booleans()
+    if kind == "f64":
+        return st.floats(allow_nan=False, allow_infinity=False)
+    if kind == "str":
+        return st.text(max_size=40)
+    if kind == "bytes":
+        return st.binary(max_size=80)
+    if kind == "opt":
+        return st.one_of(st.none(), _spec_strategy(spec.inner))
+    if kind == "nested":
+        return _schema_strategy(spec.schema)
+    if kind == "seq":
+        return st.lists(_spec_strategy(spec.elem), max_size=4)
+    if kind == "strmap":
+        return st.dictionaries(
+            st.text(min_size=1, max_size=10), st.text(max_size=12), max_size=3
+        )
+    raise AssertionError(f"unhandled spec kind {kind}")
+
+
+def _schema_strategy(schema_obj):
+    keys = [key for key, _spec in schema_obj.fields]
+    values = st.tuples(*(_spec_strategy(spec) for _key, spec in schema_obj.fields))
+    return values.map(lambda drawn: dict(zip(keys, drawn)))
+
+
+@pytest.mark.parametrize("codec_name", ("asn", "fb", "pb"))
+@pytest.mark.parametrize("key", cschema.message_schema_keys())
+@given(data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_generated_equals_interpretive_envelope(codec_name, key, data):
+    procedure, msg_class = key
+    body = data.draw(_schema_strategy(cschema.message_schema(procedure, msg_class)))
+    tree = {"p": procedure, "c": msg_class, "v": body}
+    codec = get_codec(codec_name)
+    with codegen.interpretive():
+        ref = codec.encode(tree)
+    assert codec.encode(tree) == ref
+    with codegen.interpretive():
+        want = materialize(codec.decode(ref))
+    assert materialize(codec.decode(ref)) == want
+    assert want == tree
+
+
+@pytest.mark.parametrize("codec_name", ("asn", "fb", "pb"))
+@pytest.mark.parametrize("name", cschema.payload_schema_names())
+@given(data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_generated_equals_interpretive_payload(codec_name, name, data):
+    tree = data.draw(_schema_strategy(cschema.payload_schema(name)))
+    with codegen.interpretive():
+        ref = encode_payload(tree, codec_name, schema=name)
+    assert encode_payload(tree, codec_name, schema=name) == ref
+    with codegen.interpretive():
+        want = materialize(decode_payload(ref, codec_name, schema=name))
+    assert materialize(decode_payload(ref, codec_name, schema=name)) == want
+    assert want == tree
