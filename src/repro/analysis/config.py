@@ -1,0 +1,63 @@
+"""repro-lint configuration: scopes and repo-specific knobs.
+
+Kept as plain data so fixture tests can build alternative configs and
+so the rule catalog in DESIGN.md §12 has one authoritative source for
+"where does this rule apply".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+#: every analyzable tree, relative to the repo root.
+ALL_ROOTS: Tuple[str, ...] = ("src", "tests", "benchmarks", "examples")
+
+#: production code only (rules about runtime invariants).
+SRC: Tuple[str, ...] = ("src/repro/",)
+
+#: everything (rules about universally wrong constructs).
+EVERYWHERE: Tuple[str, ...] = ("",)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable surface of the analyzer."""
+
+    #: path-prefix scope per rule code (matched against the
+    #: forward-slash path relative to the repo root).
+    rule_scopes: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "RL001": EVERYWHERE,
+            "RL002": SRC,
+            "RL003": SRC,
+            "RL004": SRC,
+            "RL005": SRC,
+            "RL006": EVERYWHERE,
+        }
+    )
+
+    #: extra COW snapshot declarations for classes that cannot carry
+    #: the ``@cow_snapshot`` decorator: relpath -> {class -> {attrs}}.
+    cow_snapshot_attrs: Dict[str, Dict[str, FrozenSet[str]]] = field(
+        default_factory=dict
+    )
+
+    #: function names that implement shard selector/dispatch loops;
+    #: blocking calls inside them must be bounded by a timeout (RL004).
+    loop_functions: FrozenSet[str] = frozenset({"_run", "_poll", "_shard_run"})
+
+    #: blocking call names RL004 audits inside loop functions.
+    blocking_calls: FrozenSet[str] = frozenset(
+        {"select", "wait", "get", "join", "acquire", "recv"}
+    )
+
+    #: files that MUST contain a generated region (RL006): hand-rolled
+    #: replacements of generated artifacts are flagged even when the
+    #: author also deleted the markers.
+    generated_required: Tuple[str, ...] = (
+        "src/repro/core/codec/kernel_manifest.py",
+    )
+
+
+DEFAULT_CONFIG = LintConfig()

@@ -1,0 +1,85 @@
+"""COW snapshot freezer: mutation-raising proxy for published routes.
+
+The sharded ingest (DESIGN.md §10) publishes routing tables as
+copy-on-write snapshots: plain dicts that hot-path readers load
+lock-free, and that mutators *replace* — never mutate — under their
+lock.  Nothing in production enforces the "never mutate" half; a
+``.update()`` slipped into a future refactor would corrupt concurrent
+readers only under load, as a flaky benchmark.
+
+Under analysis mode (``REPRO_ANALYSIS=1``) every published snapshot is
+wrapped in :class:`FrozenSnapshot`, a dict subclass whose mutating
+methods raise :class:`SnapshotMutationError` at the offending call
+site — turning the race into a deterministic stack trace.  Reads stay
+plain C-speed ``dict`` operations, and with the freezer disabled
+:func:`publish_snapshot` returns its argument untouched, so the hot
+path costs nothing in production.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = [
+    "FrozenSnapshot",
+    "SnapshotMutationError",
+    "publish_snapshot",
+    "set_freezing",
+    "freezing",
+]
+
+
+class SnapshotMutationError(RuntimeError):
+    """In-place mutation of a published copy-on-write snapshot."""
+
+
+def _refuse(op: str):
+    def method(self, *args: Any, **kwargs: Any):  # noqa: ANN001 - dict API
+        raise SnapshotMutationError(
+            f"in-place {op!r} on a published COW snapshot: snapshots are "
+            "read lock-free by shard threads and must be rebuilt and "
+            "rebound under the mutator lock, never mutated"
+        )
+
+    method.__name__ = op
+    return method
+
+
+class FrozenSnapshot(dict):
+    """A dict whose mutators raise; reads are ordinary dict reads."""
+
+    __slots__ = ()
+
+    __setitem__ = _refuse("__setitem__")
+    __delitem__ = _refuse("__delitem__")
+    __ior__ = _refuse("__ior__")
+    clear = _refuse("clear")
+    pop = _refuse("pop")
+    popitem = _refuse("popitem")
+    setdefault = _refuse("setdefault")
+    update = _refuse("update")
+
+
+#: single-element cell so closures observe toggles (same idiom as the
+#: codegen strict flag).
+_FREEZE = [False]
+
+
+def set_freezing(enabled: bool) -> None:
+    """Toggle snapshot freezing (installed by analysis mode)."""
+    _FREEZE[0] = bool(enabled)
+
+
+def freezing() -> bool:
+    return _FREEZE[0]
+
+
+def publish_snapshot(snapshot: Dict) -> Dict:
+    """Prepare a freshly built dict for lock-free publication.
+
+    Identity function in production; returns a mutation-raising
+    :class:`FrozenSnapshot` copy when the freezer is enabled.
+    """
+    if _FREEZE[0]:
+        return FrozenSnapshot(snapshot)
+    return snapshot

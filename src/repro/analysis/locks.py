@@ -1,0 +1,244 @@
+"""Lock-order instrumentation: acquisition graph + inversion detection.
+
+A classic happened-before lock checker in the spirit of the kernel's
+lockdep: every tracked acquisition while other tracked locks are held
+adds a *site → site* edge to a global directed graph, where a site is
+the source location that created the lock (``path:lineno``) — so all
+instances born at one line (e.g. every ``Server._lock``) share a
+node.  An edge that closes a cycle means two code paths acquire the
+same pair of lock classes in opposite orders: a potential deadlock,
+reported deterministically even when the interleaving that would
+actually deadlock never happens in the run.
+
+Design constraints:
+
+* **no false negatives from scheduling** — the graph accumulates
+  across threads and time, so an ABBA pair is flagged as soon as both
+  orders have been *seen*, not only when they overlap;
+* **reentrancy-aware** — re-acquiring an RLock (or the same lock
+  instance) already held by this thread adds no edge;
+* **cheap when uncontended** — an acquisition with no other tracked
+  lock held touches only a thread-local list; the graph mutex is an
+  original (untracked) lock so the checker cannot recurse into
+  itself.
+
+The wrappers are API-compatible with ``threading.Lock``/``RLock``
+including the private ``_is_owned``/``_release_save``/
+``_acquire_restore`` hooks ``threading.Condition`` probes for, so a
+``Condition`` built on a tracked lock keeps correct wait semantics.
+"""
+
+from __future__ import annotations
+
+import _thread
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "LockGraph",
+    "LockOrderViolation",
+    "TrackedLock",
+    "TrackedRLock",
+    "GRAPH",
+]
+
+#: untracked primitives (bypass any monkeypatching of threading.*).
+_real_lock = _thread.allocate_lock
+_real_rlock = _thread.RLock
+
+
+@dataclass
+class LockOrderViolation:
+    """One detected inversion: the new edge closed a cycle."""
+
+    #: acquisition order observed now: ``held`` was held while
+    #: acquiring ``acquired``.
+    held: str
+    acquired: str
+    #: the pre-existing reverse path acquired → ... → held.
+    cycle: Tuple[str, ...]
+    thread: str
+
+    def describe(self) -> str:
+        chain = " -> ".join(self.cycle)
+        return (
+            f"lock-order inversion in thread {self.thread!r}: acquired "
+            f"{self.acquired!r} while holding {self.held!r}, but the "
+            f"opposite order already exists ({chain})"
+        )
+
+
+class _Held(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[Tuple[str, object]] = []
+
+
+@dataclass
+class LockGraph:
+    """Site-level lock acquisition graph with cycle detection."""
+
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    violations: List[LockOrderViolation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._mu = _real_lock()
+        self._held = _Held()
+        self._seen_pairs: Set[Tuple[str, str]] = set()
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def reset(self) -> None:
+        with self._mu:
+            self.edges.clear()
+            self.violations.clear()
+            self._seen_pairs.clear()
+
+    def drain_violations(self) -> List[LockOrderViolation]:
+        with self._mu:
+            out = list(self.violations)
+            self.violations.clear()
+        return out
+
+    def held_sites(self) -> List[str]:
+        """Sites of locks the calling thread currently holds."""
+        return [site for site, _inst in self._held.stack]
+
+    # -- acquisition hooks --------------------------------------------
+
+    def note_acquired(self, lock: object, site: str) -> None:
+        stack = self._held.stack
+        for _held_site, inst in stack:
+            if inst is lock:
+                # Reentrant re-acquisition: no new ordering information.
+                stack.append((site, lock))
+                return
+        if stack:
+            held_site = stack[-1][0]
+            if held_site != site:
+                self._add_edge(held_site, site)
+        stack.append((site, lock))
+
+    def note_released(self, lock: object) -> None:
+        stack = self._held.stack
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][1] is lock:
+                del stack[index]
+                return
+
+    def note_released_all(self, lock: object) -> int:
+        """Drop every stack entry for ``lock`` (Condition full-release);
+        returns how many were held so they can be restored."""
+        stack = self._held.stack
+        count = 0
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][1] is lock:
+                del stack[index]
+                count += 1
+        return count
+
+    # -- graph ---------------------------------------------------------
+
+    def _add_edge(self, a: str, b: str) -> None:
+        with self._mu:
+            if b in self.edges.setdefault(a, set()):
+                return
+            self.edges[a].add(b)
+            cycle = self._path(b, a)
+            if cycle is not None and (a, b) not in self._seen_pairs:
+                self._seen_pairs.add((a, b))
+                self._seen_pairs.add((b, a))
+                self.violations.append(
+                    LockOrderViolation(
+                        held=a,
+                        acquired=b,
+                        cycle=tuple(cycle) + (b,),
+                        thread=threading.current_thread().name,
+                    )
+                )
+
+    def _path(self, start: str, goal: str) -> Optional[List[str]]:
+        """DFS: a path start → goal through ``edges`` (excluding the
+        edge just added, which closed the cycle)."""
+        stack: List[Tuple[str, List[str]]] = [(start, [start])]
+        visited = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for nxt in self.edges.get(node, ()):
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+
+#: process-global graph used by the installed instrumentation.
+GRAPH = LockGraph()
+
+
+class _TrackedBase:
+    """Common acquire/release accounting for both lock flavors."""
+
+    __slots__ = ("_lock", "_site", "_graph")
+
+    def __init__(self, site: str, graph: Optional[LockGraph] = None) -> None:
+        self._site = site
+        self._graph = graph if graph is not None else GRAPH
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._lock.acquire(blocking, timeout)
+        if ok:
+            self._graph.note_acquired(self, self._site)
+        return ok
+
+    def release(self) -> None:
+        self._graph.note_released(self)
+        self._lock.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} site={self._site!r} {self._lock!r}>"
+
+
+class TrackedLock(_TrackedBase):
+    """Instrumented ``threading.Lock``."""
+
+    __slots__ = ()
+
+    def __init__(self, site: str, graph: Optional[LockGraph] = None) -> None:
+        super().__init__(site, graph)
+        self._lock = _real_lock()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+
+class TrackedRLock(_TrackedBase):
+    """Instrumented ``threading.RLock`` (Condition-compatible)."""
+
+    __slots__ = ()
+
+    def __init__(self, site: str, graph: Optional[LockGraph] = None) -> None:
+        super().__init__(site, graph)
+        self._lock = _real_rlock()
+
+    # ``threading.Condition`` probes these by hasattr; forwarding them
+    # keeps reentrant-wait semantics while the graph stays consistent.
+    def _is_owned(self) -> bool:
+        return self._lock._is_owned()
+
+    def _release_save(self):
+        count = self._graph.note_released_all(self)
+        return (self._lock._release_save(), count)
+
+    def _acquire_restore(self, state) -> None:
+        inner, count = state
+        self._lock._acquire_restore(inner)
+        for _ in range(count):
+            self._graph.note_acquired(self, self._site)

@@ -1,0 +1,44 @@
+"""Source markers the static analyzer recognizes.
+
+Runtime no-ops: the decorators only attach metadata so that grepping a
+class tells the reader (and ``repro-lint``) which attributes are
+copy-on-write snapshots and which methods are their sanctioned
+mutators.  Kept free of any other repro import so hot modules can use
+them without pulling in the analysis machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Type, TypeVar
+
+T = TypeVar("T")
+
+
+def cow_snapshot(*attrs: str) -> Callable[[Type[T]], Type[T]]:
+    """Class decorator declaring copy-on-write snapshot attributes.
+
+    Declared attributes are read lock-free on hot paths, so they may
+    only ever be *rebound* to a freshly built mapping (under the
+    owner's mutator lock) — never mutated in place — and readers must
+    load the attribute into a local exactly once per operation.
+    ``repro-lint`` rule RL003 enforces all three properties.
+    """
+
+    def mark(cls: Type[T]) -> Type[T]:
+        existing = tuple(getattr(cls, "__cow_snapshots__", ()))
+        cls.__cow_snapshots__ = existing + attrs
+        return cls
+
+    return mark
+
+
+def cow_mutator(func: Callable[..., Any]) -> Callable[..., Any]:
+    """Marks a method as a sanctioned snapshot publisher.
+
+    The method may rebind ``@cow_snapshot`` attributes without a
+    lexically visible ``with self._lock`` because its *callers* hold
+    the mutator lock (the docstring of each marked method states the
+    contract).  RL003 treats any other rebind site as a violation.
+    """
+    func.__cow_mutator__ = True
+    return func

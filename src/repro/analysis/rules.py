@@ -1,0 +1,619 @@
+"""repro-lint rule catalog (RL001–RL006).
+
+Each rule is a small class with a ``code``, a one-line ``summary`` and
+a ``check(parsed, config)`` generator yielding :class:`Finding`
+objects.  Rules register themselves into :data:`RULES` at import; the
+driver in :mod:`repro.analysis.lint` handles scoping, pragmas, the
+baseline and output formats, so a rule only encodes the invariant
+itself.  DESIGN.md §12 maps each rule to the PR-5/PR-6 contract it
+guards.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.config import LintConfig
+
+__all__ = ["Finding", "ParsedFile", "RULES", "register"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    code: str
+    path: str  # forward-slash path relative to the repo root
+    line: int  # 1-based; 0 for whole-file findings
+    col: int
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class ParsedFile:
+    """A file the driver hands to every in-scope rule."""
+
+    path: str
+    text: str
+    lines: List[str]
+    tree: Optional[ast.AST]  # None when the file does not parse
+
+
+RULES: Dict[str, "object"] = {}
+
+
+def register(rule_cls):
+    """Class decorator adding a rule instance to the registry."""
+    rule = rule_cls()
+    if rule.code in RULES:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    RULES[rule.code] = rule
+    return rule_cls
+
+
+def _is_self_attr(node: ast.AST, attrs: Set[str]) -> Optional[str]:
+    """``self.<attr>`` with attr in ``attrs`` → the attr name."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in attrs
+    ):
+        return node.attr
+    return None
+
+
+def _decorator_name(node: ast.expr) -> Optional[str]:
+    """Plain name of a decorator (``x`` / ``mod.x`` / ``x(...)``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+# -- RL001 ------------------------------------------------------------
+
+
+@register
+class NoWallClockRule:
+    """Deadlines and durations must use the monotonic clock.
+
+    ``time.time()`` jumps under NTP slews and broke the fig7/fig9
+    deadline math once already (PR 3).  Genuine wall-clock needs
+    (human-facing timestamps) carry a pragma explaining why.
+    """
+
+    code = "RL001"
+    summary = "time.time() used; deadlines/durations require time.monotonic()"
+
+    def check(self, parsed: ParsedFile, config: LintConfig) -> Iterator[Finding]:
+        if parsed.tree is None:
+            return
+        module_aliases = set()  # names bound to the time module
+        func_aliases = set()  # names bound to the time.time function
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        module_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name == "time":
+                            func_aliases.add(alias.asname or "time")
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            hit = False
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+            ):
+                hit = True
+            elif isinstance(func, ast.Name) and func.id in func_aliases:
+                hit = True
+            if hit:
+                yield Finding(
+                    self.code,
+                    parsed.path,
+                    node.lineno,
+                    node.col_offset,
+                    "time.time() is wall-clock and jumps under NTP; use "
+                    "time.monotonic() for deadlines and durations "
+                    "(pragma-disable only for human-facing timestamps)",
+                )
+
+
+# -- RL002 ------------------------------------------------------------
+
+
+@register
+class NoBroadExceptRule:
+    """Decode/dispatch paths must catch ``DECODE_ERRORS``, not all.
+
+    A broad ``except Exception`` in a containment handler swallows
+    programming errors (AttributeError from a refactor, assertion
+    failures) along with the malformed-input errors it is meant to
+    contain — PR 3 narrowed these once; this rule keeps them narrow.
+    """
+
+    code = "RL002"
+    summary = "broad exception handler; catch DECODE_ERRORS or concrete types"
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def _names(self, node: Optional[ast.expr]) -> Iterator[str]:
+        if node is None:
+            yield "<bare>"
+        elif isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+        elif isinstance(node, ast.Tuple):
+            for elt in node.elts:
+                yield from self._names(elt)
+
+    def check(self, parsed: ParsedFile, config: LintConfig) -> Iterator[Finding]:
+        if parsed.tree is None:
+            return
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = list(self._names(node.type))
+            if "<bare>" in names or self._BROAD.intersection(names):
+                caught = "bare except" if "<bare>" in names else "except " + ", ".join(names)
+                yield Finding(
+                    self.code,
+                    parsed.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"{caught}: containment handlers must catch DECODE_ERRORS "
+                    "(or the concrete exceptions); broad handlers hide "
+                    "programming errors as contained decode faults",
+                )
+
+
+# -- RL003 ------------------------------------------------------------
+
+
+class _LockVisitor(ast.NodeVisitor):
+    """Walk one method body tracking lexical ``with self.*lock*:``."""
+
+    _SNAPSHOT_MUTATORS = {"update", "clear", "pop", "popitem", "setdefault"}
+
+    def __init__(self, rule, parsed, attrs, allow_rebind: bool):
+        self.rule = rule
+        self.parsed = parsed
+        self.attrs = attrs
+        self.allow_rebind = allow_rebind
+        self.under_lock = 0
+        self.findings: List[Finding] = []
+        self.unlocked_loads: List[ast.Attribute] = []
+
+    def _is_lock_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Attribute):
+            return "lock" in node.attr.lower()
+        if isinstance(node, ast.Name):
+            return "lock" in node.id.lower()
+        return False
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(self._is_lock_expr(item.context_expr) for item in node.items)
+        if locked:
+            self.under_lock += 1
+        self.generic_visit(node)
+        if locked:
+            self.under_lock -= 1
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                self.rule.code,
+                self.parsed.path,
+                node.lineno,
+                node.col_offset,
+                message,
+            )
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in self._SNAPSHOT_MUTATORS:
+            attr = _is_self_attr(func.value, self.attrs)
+            if attr is not None:
+                self._flag(
+                    node,
+                    f"in-place .{func.attr}() on COW snapshot 'self.{attr}': "
+                    "snapshots are read lock-free by shard threads; rebuild "
+                    "and rebind under the mutator lock instead",
+                )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                attr = _is_self_attr(target.value, self.attrs)
+                if attr is not None:
+                    self._flag(
+                        node,
+                        f"del on COW snapshot 'self.{attr}' item: snapshots "
+                        "must never be mutated in place",
+                    )
+        self.generic_visit(node)
+
+    def _check_store(self, target: ast.expr, node: ast.AST) -> None:
+        if isinstance(target, ast.Subscript):
+            attr = _is_self_attr(target.value, self.attrs)
+            if attr is not None:
+                self._flag(
+                    node,
+                    f"item assignment into COW snapshot 'self.{attr}': "
+                    "snapshots must never be mutated in place",
+                )
+            return
+        attr = _is_self_attr(target, self.attrs)
+        if attr is not None and not (self.allow_rebind or self.under_lock):
+            self._flag(
+                node,
+                f"rebind of COW snapshot 'self.{attr}' outside the mutator "
+                "lock: publish under 'with self._lock' or mark the method "
+                "@cow_mutator (callers hold the lock)",
+            )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            attr = _is_self_attr(node, self.attrs)
+            if attr is not None and not self.under_lock:
+                self.unlocked_loads.append(node)
+        self.generic_visit(node)
+
+
+@register
+class CowDisciplineRule:
+    """COW snapshot attributes: rebind-only, single hot-path load.
+
+    Attributes declared with ``@cow_snapshot(...)`` (or in the config)
+    are read lock-free by shard threads.  Three properties keep that
+    safe: (1) never mutate the published dict in place, (2) rebind
+    only under the mutator lock (or in a ``@cow_mutator`` whose
+    callers hold it), (3) readers load the attribute into a local
+    exactly once — two raw ``self._route...`` loads in one operation
+    can observe two different snapshots.
+    """
+
+    code = "RL003"
+    summary = "COW snapshot discipline violated (mutation/rebind/double-load)"
+
+    def _declared_attrs(
+        self, parsed: ParsedFile, node: ast.ClassDef, config: LintConfig
+    ) -> Set[str]:
+        attrs: Set[str] = set()
+        for deco in node.decorator_list:
+            if isinstance(deco, ast.Call) and _decorator_name(deco) == "cow_snapshot":
+                for arg in deco.args:
+                    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                        attrs.add(arg.value)
+        extra = config.cow_snapshot_attrs.get(parsed.path, {})
+        attrs.update(extra.get(node.name, ()))
+        return attrs
+
+    def check(self, parsed: ParsedFile, config: LintConfig) -> Iterator[Finding]:
+        if parsed.tree is None:
+            return
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            attrs = self._declared_attrs(parsed, node, config)
+            if not attrs:
+                continue
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                is_mutator = item.name == "__init__" or any(
+                    _decorator_name(d) == "cow_mutator" for d in item.decorator_list
+                )
+                visitor = _LockVisitor(self, parsed, attrs, allow_rebind=is_mutator)
+                for stmt in item.body:
+                    visitor.visit(stmt)
+                yield from visitor.findings
+                if not is_mutator:
+                    by_attr: Dict[str, List[ast.Attribute]] = {}
+                    for load in visitor.unlocked_loads:
+                        by_attr.setdefault(load.attr, []).append(load)
+                    for attr, loads in by_attr.items():
+                        for load in loads[1:]:
+                            yield Finding(
+                                self.code,
+                                parsed.path,
+                                load.lineno,
+                                load.col_offset,
+                                f"repeated lock-free load of COW snapshot "
+                                f"'self.{attr}' in {item.name}(): load it "
+                                "into a local once — two loads can observe "
+                                "two different snapshots",
+                            )
+
+
+# -- RL004 ------------------------------------------------------------
+
+
+@register
+class BoundedBlockingRule:
+    """Shard selector loops must never block without a timeout.
+
+    An unbounded ``select()``/``wait()``/``get()`` inside a shard loop
+    turns shutdown into a hang and starves the wake-pipe protocol; the
+    loops are written to poll with small timeouts so ``stop()`` and
+    quiesce converge.
+    """
+
+    code = "RL004"
+    summary = "unbounded blocking call inside a shard loop function"
+
+    def check(self, parsed: ParsedFile, config: LintConfig) -> Iterator[Finding]:
+        if parsed.tree is None:
+            return
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in config.loop_functions:
+                continue
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in config.blocking_calls
+                ):
+                    continue
+                has_bound = bool(call.args) or any(
+                    kw.arg == "timeout" for kw in call.keywords
+                )
+                if not has_bound:
+                    yield Finding(
+                        self.code,
+                        parsed.path,
+                        call.lineno,
+                        call.col_offset,
+                        f".{func.attr}() without a timeout inside loop "
+                        f"function {node.name}(): shard loops must stay "
+                        "responsive to stop()/wake (pass a timeout)",
+                    )
+
+
+# -- RL005 ------------------------------------------------------------
+
+
+@register
+class MetricRegistryRule:
+    """Metric names must be declared in ``repro.metrics.names``.
+
+    Guards the stale-gauge/typo'd-counter bug class: a name used at a
+    call site but absent from the registry is either a typo or an
+    undeclared instrument nobody will find in an export.
+    """
+
+    code = "RL005"
+    summary = "metric name not declared in repro.metrics.names"
+
+    _KINDS = {
+        "get_counter": "counter",
+        "get_gauge": "gauge",
+        "get_histogram": "histogram",
+    }
+
+    def _call_kind(self, func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Name):
+            return self._KINDS.get(func.id)
+        if isinstance(func, ast.Attribute):
+            return self._KINDS.get(func.attr)
+        return None
+
+    @staticmethod
+    def _fstring_parts(node: ast.JoinedStr) -> Optional[List[str]]:
+        """Literal pieces around placeholders, or None if odd shapes."""
+        parts: List[str] = [""]
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts[-1] += value.value
+            elif isinstance(value, ast.FormattedValue):
+                parts.append("")
+            else:
+                return None
+        return parts
+
+    def _resolutions(
+        self, scope: ast.AST, name: str
+    ) -> Optional[List[ast.expr]]:
+        """All values assigned to ``name`` inside ``scope``; None when
+        any assignment shape is beyond simple ``name = <expr>``."""
+        values: List[ast.expr] = []
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        values.append(node.value)
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        for elt in target.elts:
+                            if isinstance(elt, ast.Name) and elt.id == name:
+                                return None
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                target = node.target
+                if isinstance(target, ast.Name) and target.id == name:
+                    if node.value is None:
+                        return None
+                    values.append(node.value)
+            elif isinstance(node, ast.arg) and node.arg == name:
+                return None  # parameter: caller-supplied, dynamic
+        return values or None
+
+    def check(self, parsed: ParsedFile, config: LintConfig) -> Iterator[Finding]:
+        if parsed.tree is None:
+            return
+        from repro.metrics import names as registry
+
+        # enclosing function scope per call node
+        scopes: Dict[int, ast.AST] = {}
+        for scope in ast.walk(parsed.tree):
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for sub in ast.walk(scope):
+                    scopes[id(sub)] = scope
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = self._call_kind(node.func)
+            if kind is None or not node.args:
+                continue
+            arg = node.args[0]
+            yield from self._check_expr(
+                parsed, registry, kind, arg, scopes.get(id(node), parsed.tree), node
+            )
+
+    def _check_expr(
+        self, parsed, registry, kind, arg, scope, call
+    ) -> Iterator[Finding]:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if not registry.declared(kind, arg.value):
+                yield Finding(
+                    self.code,
+                    parsed.path,
+                    call.lineno,
+                    call.col_offset,
+                    f"{kind} name {arg.value!r} is not declared in "
+                    "repro.metrics.names; declare it (or its pattern) there",
+                )
+            return
+        if isinstance(arg, ast.JoinedStr):
+            parts = self._fstring_parts(arg)
+            if parts is None or not registry.declared_parts(kind, parts):
+                shown = "{}".join(parts) if parts else "<f-string>"
+                yield Finding(
+                    self.code,
+                    parsed.path,
+                    call.lineno,
+                    call.col_offset,
+                    f"{kind} name pattern {shown!r} is not declared in "
+                    "repro.metrics.names; declare the pattern there",
+                )
+            return
+        if isinstance(arg, ast.Name):
+            values = self._resolutions(scope, arg.id)
+            if values is not None:
+                for value in values:
+                    if isinstance(value, (ast.Constant, ast.JoinedStr)):
+                        yield from self._check_expr(
+                            parsed, registry, kind, value, scope, call
+                        )
+                    else:
+                        values = None
+                        break
+            if values is not None:
+                return
+        yield Finding(
+            self.code,
+            parsed.path,
+            call.lineno,
+            call.col_offset,
+            f"dynamic {kind} name: the registry check cannot resolve this "
+            "argument; use a literal/f-string (declared in "
+            "repro.metrics.names) or pragma-disable with a justification",
+        )
+
+
+# -- RL006 ------------------------------------------------------------
+
+GENERATED_BEGIN = "# repro-lint: generated begin sha256="
+GENERATED_END = "# repro-lint: generated end"
+
+
+def region_digest(lines: Sequence[str]) -> str:
+    """Digest of the lines strictly between the region markers."""
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+@register
+class GeneratedRegionRule:
+    """Generated regions must not be edited by hand.
+
+    A region is delimited by ``# repro-lint: generated begin
+    sha256=<hex>`` / ``# repro-lint: generated end``; the digest pins
+    the exact content.  Regenerate with the emitting tool (e.g.
+    ``python -m repro.core.codec.manifest --write``) instead of
+    editing — hand edits desynchronize the artifact from its source of
+    truth and the codegen equivalence oath with it.
+    """
+
+    code = "RL006"
+    summary = "generated region edited by hand (digest mismatch) or malformed"
+
+    def check(self, parsed: ParsedFile, config: LintConfig) -> Iterator[Finding]:
+        lines = parsed.lines
+        index = 0
+        regions = 0
+        while index < len(lines):
+            stripped = lines[index].strip()
+            if not stripped.startswith(GENERATED_BEGIN):
+                index += 1
+                continue
+            declared = stripped[len(GENERATED_BEGIN):].strip()
+            begin_line = index + 1
+            end = None
+            for j in range(index + 1, len(lines)):
+                if lines[j].strip() == GENERATED_END:
+                    end = j
+                    break
+            if end is None:
+                yield Finding(
+                    self.code,
+                    parsed.path,
+                    begin_line,
+                    0,
+                    "generated region has no matching "
+                    f"{GENERATED_END!r} marker",
+                )
+                return
+            regions += 1
+            actual = region_digest(lines[index + 1 : end])
+            if actual != declared:
+                yield Finding(
+                    self.code,
+                    parsed.path,
+                    begin_line,
+                    0,
+                    "generated region content does not match its declared "
+                    f"sha256 (declared {declared[:12]}…, actual "
+                    f"{actual[:12]}…): regenerate with the emitting tool "
+                    "instead of editing by hand",
+                )
+            index = end + 1
+        if parsed.path in config.generated_required and regions == 0:
+            yield Finding(
+                self.code,
+                parsed.path,
+                1,
+                0,
+                "file is declared generated but contains no generated-region "
+                "markers; regenerate it with the emitting tool",
+            )

@@ -257,15 +257,17 @@ class XappHostIApp(IApp):
     # -- service 5: logging and fault management --------------------------------
 
     def log(self, source: str, message: str, level: str = "info") -> None:
+        # Wall clock on purpose: logbook timestamps are human-facing
+        # and never enter deadline or duration arithmetic.
         self.logbook.append(
-            LogEntry(tstamp=time.time(), level=level, source=source, message=message)
+            LogEntry(tstamp=time.time(), level=level, source=source, message=message)  # repro-lint: disable=RL001
         )
 
     def _supervised(self, xapp_name: str, thunk: Callable[[], None]) -> None:
         """Run an xApp callback; record (not propagate) its faults."""
         try:
             thunk()
-        except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+        except Exception as exc:  # noqa: BLE001  # repro-lint: disable=RL002 - fault isolation boundary: a buggy xApp callback must never take down the host
             self.faults[xapp_name] = self.faults.get(xapp_name, 0) + 1
             self.log(xapp_name, f"fault: {type(exc).__name__}: {exc}", level="error")
 

@@ -21,6 +21,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.cow import publish_snapshot
+from repro.analysis.markers import cow_mutator, cow_snapshot
 from repro.core.codec.base import Codec, CodecError, get_codec
 from repro.core.e2ap.ies import GlobalE2NodeId, RicActionDefinition, RicRequestId
 from repro.core.e2ap.messages import (
@@ -230,6 +232,7 @@ class _StaleNode:
     deadline: float
 
 
+@cow_snapshot("_route_by_endpoint", "_route_conns")
 class Server:
     """The controller side of the FlexRIC SDK."""
 
@@ -266,8 +269,8 @@ class Server:
         #: copy-on-write routing snapshots (see ``_rebuild_routes``):
         #: read lock-free on the per-message hot paths, replaced under
         #: ``_lock`` whenever connection state changes.
-        self._route_by_endpoint: Dict[int, _ConnState] = {}
-        self._route_conns: Dict[int, _ConnState] = {}
+        self._route_by_endpoint: Dict[int, _ConnState] = publish_snapshot({})
+        self._route_conns: Dict[int, _ConnState] = publish_snapshot({})
         #: serializes the stateful slow path (setup, subscription
         #: outcomes, lifecycle) across transport shard threads.  The
         #: indication hot path never takes it.  Always acquired
@@ -453,6 +456,7 @@ class Server:
 
     # -- transport events ----------------------------------------------
 
+    @cow_mutator
     def _rebuild_routes(self) -> None:
         """Publish fresh routing snapshots; callers hold ``_lock``.
 
@@ -461,9 +465,11 @@ class Server:
         dict-reference load is atomic under the GIL).  A reader racing
         a rebuild sees the previous snapshot — the same window a
         message already in flight during a disconnect always had.
+        ``publish_snapshot`` is the identity in production; under
+        ``REPRO_ANALYSIS=1`` it returns a mutation-raising proxy.
         """
-        self._route_by_endpoint = dict(self._by_endpoint)
-        self._route_conns = dict(self._conns)
+        self._route_by_endpoint = publish_snapshot(dict(self._by_endpoint))
+        self._route_conns = publish_snapshot(dict(self._conns))
 
     def _on_connected(self, endpoint: Endpoint) -> None:
         state = _ConnState(
@@ -891,7 +897,10 @@ class Server:
                     break
                 try:
                     self.keepalive_tick()
-                except Exception:
+                # The liveness daemon must survive any tick failure —
+                # a dead keepalive thread silently disables the whole
+                # stale/park/adopt lifecycle.
+                except Exception:  # repro-lint: disable=RL002
                     get_counter("server.liveness.errors").incr()
 
         self._liveness_thread = threading.Thread(

@@ -26,6 +26,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.cow import publish_snapshot
+from repro.analysis.markers import cow_mutator, cow_snapshot
 from repro.metrics.trace import TRACER as _TRACER
 from repro.core.e2ap.ies import RicActionDefinition, RicRequestId
 from repro.core.e2ap.messages import (
@@ -75,6 +77,7 @@ class SubscriptionRecord:
     resyncs: int = 0
 
 
+@cow_snapshot("_route")
 class SubscriptionManager:
     """Mints request ids, tracks records, dispatches by key."""
 
@@ -84,12 +87,13 @@ class SubscriptionManager:
         self._records: Dict[Tuple[int, int], SubscriptionRecord] = {}
         #: copy-on-write routing snapshot: replaced (never mutated in
         #: place) under ``_lock``, read lock-free on the hot path.
-        self._route: Dict[Tuple[int, int], SubscriptionRecord] = {}
+        self._route: Dict[Tuple[int, int], SubscriptionRecord] = publish_snapshot({})
         self._lock = threading.RLock()
 
+    @cow_mutator
     def _publish(self) -> None:
         """Rebuild the routing snapshot; callers hold ``_lock``."""
-        self._route = dict(self._records)
+        self._route = publish_snapshot(dict(self._records))
 
     def create(
         self,

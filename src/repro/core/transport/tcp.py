@@ -503,7 +503,9 @@ class TcpTransport(Transport):
         trace_start = time.perf_counter() if tracer.enabled else 0.0
         drained = 0
         terminal: Optional[DisconnectReason] = None
-        terminal_counter = ""
+        # Placeholder only: every terminal path below overwrites it
+        # with the specific close-cause name before it is used.
+        terminal_counter = "tcp.close.error"
         messages: List[bytes] = []
         while drained < self.MAX_DRAIN_BYTES:
             try:

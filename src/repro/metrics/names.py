@@ -1,0 +1,162 @@
+"""Central registry of metric instrument names.
+
+Every counter/gauge/histogram name used in ``src/repro`` must be
+declared here, either verbatim or as a pattern with ``{placeholder}``
+segments for names built with f-strings (shard indices, node labels,
+disconnect-reason codes).  ``repro-lint`` rule RL005 checks call sites
+against this registry — the static guard against the stale-gauge /
+typo'd-counter class of bugs PR 3 fixed once (a metric incremented
+under one name and asserted or exported under another is invisible at
+runtime until a dashboard reads zeros).
+
+Adding an instrument is a two-line change: use it at the call site and
+declare it here.  The declaration is also the natural place to grep
+for "what can this process export".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+#: exact counter names.
+COUNTERS = frozenset(
+    {
+        # decode containment (shared by SMs, agent and server paths)
+        "decode.contained",
+        # codec kernels (codegen hit/deopt accounting)
+        "codec.kernel.encode_hits",
+        "codec.kernel.encode_fallbacks",
+        "codec.kernel.decode_hits",
+        "codec.kernel.decode_fallbacks",
+        # flat-codec bounded caches
+        "codec.flat.dir_cache.evictions",
+        "codec.flat.list_cache.evictions",
+        "codec.flat.route_cache.evictions",
+        # E2AP encode cache
+        "e2ap.encode_cache.hits",
+        "e2ap.encode_cache.misses",
+        # server lifecycle / ingest
+        "server.rx.decode_error",
+        "server.node.stale",
+        "server.node.recovered",
+        "server.node.expired",
+        "server.keepalive.sent",
+        "server.keepalive.dead",
+        "server.liveness.errors",
+        # agent lifecycle
+        "agent.reconnect.attempt",
+        "agent.reconnect.success",
+        "agent.reconnect.giveup",
+        "agent.reconnect.connect_timeout",
+        "agent.journal.replayed",
+        "agent.indications.dropped",
+        "agent.rx.decode_error",
+        "agent.tx.reply_failed",
+        # transports
+        "tcp.connect.timeout",
+        "tcp.close.eof",
+        "tcp.close.framing",
+        # fault injection
+        "faulty.drop",
+        "faulty.corrupt",
+        "faulty.truncate",
+        "faulty.delay",
+        "faulty.reorder",
+        "faulty.dup",
+        "faulty.kill",
+    }
+)
+
+#: counter name patterns ({} segments are runtime-formatted).
+COUNTER_PATTERNS: Tuple[str, ...] = (
+    # per-shard receive accounting (shard index)
+    "server.shard.{shard}.rx",
+    # close-cause accounting (DisconnectReason.code)
+    "tcp.close.{code}",
+)
+
+#: exact gauge names.
+GAUGES = frozenset(set())
+
+#: gauge name patterns.
+GAUGE_PATTERNS: Tuple[str, ...] = (
+    # inproc shard queue depth (shard index)
+    "inproc.shard.{index}.depth",
+    # per-link lifecycle state (node label, origin id)
+    "agent.{node}.link.{origin}.state",
+)
+
+#: exact histogram names.
+HISTOGRAMS = frozenset(set())
+
+#: histogram name patterns.
+HISTOGRAM_PATTERNS: Tuple[str, ...] = (
+    # per-stage procedure latency (stage vocabulary of DESIGN.md §9)
+    "trace.{stage}",
+)
+
+_BY_KIND = {
+    "counter": (COUNTERS, COUNTER_PATTERNS),
+    "gauge": (GAUGES, GAUGE_PATTERNS),
+    "histogram": (HISTOGRAMS, HISTOGRAM_PATTERNS),
+}
+
+
+def _pattern_pieces(pattern: str) -> Tuple[str, ...]:
+    """Literal pieces around ``{...}`` placeholders."""
+    pieces = []
+    rest = pattern
+    while True:
+        open_at = rest.find("{")
+        if open_at < 0:
+            pieces.append(rest)
+            return tuple(pieces)
+        close_at = rest.find("}", open_at)
+        if close_at < 0:
+            pieces.append(rest)
+            return tuple(pieces)
+        pieces.append(rest[:open_at])
+        rest = rest[close_at + 1 :]
+
+
+def declared(kind: str, name: str) -> bool:
+    """Is an exact ``name`` declared for instrument ``kind``?"""
+    exact, patterns = _BY_KIND[kind]
+    if name in exact:
+        return True
+    return any(_match_pieces(_pattern_pieces(p), (name,)) for p in patterns)
+
+
+def declared_parts(kind: str, literal_parts: Iterable[str]) -> bool:
+    """Match an f-string by its literal pieces against the patterns.
+
+    ``f"server.shard.{n}.rx"`` has literal pieces
+    ``("server.shard.", ".rx")``; it is declared iff some pattern has
+    the same pieces around its placeholders.
+    """
+    parts = tuple(literal_parts)
+    exact, patterns = _BY_KIND[kind]
+    if len(parts) == 1 and parts[0] in exact:
+        return True
+    return any(_pattern_pieces(p) == parts for p in patterns)
+
+
+def _match_pieces(pieces: Tuple[str, ...], name_parts: Tuple[str, ...]) -> bool:
+    """Does a concrete name match a pattern's literal pieces?"""
+    if len(name_parts) != 1:
+        return False
+    name = name_parts[0]
+    if not pieces:
+        return False
+    if not name.startswith(pieces[0]):
+        return False
+    pos = len(pieces[0])
+    for piece in pieces[1:]:
+        if piece == "":
+            pos = len(name)
+            continue
+        found = name.find(piece, pos + 1)
+        if found < 0:
+            return False
+        pos = found + len(piece)
+    return pos <= len(name)

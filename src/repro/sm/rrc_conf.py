@@ -96,6 +96,7 @@ class RrcConfFunction(RanFunction):
     def on_control(self, origin: int, header: bytes, payload: bytes):
         from repro.core.agent.ran_function import ControlOutcome
         from repro.core.e2ap.procedures import Cause
+        from repro.ran.mobility import HandoverError
 
         try:
             command = decode_payload(payload, self.sm_codec)
@@ -117,7 +118,7 @@ class RrcConfFunction(RanFunction):
             )
         try:
             self.mobility(rnti, target_nb)
-        except Exception as exc:  # HandoverError, KeyError, ValueError
+        except (HandoverError, KeyError, ValueError) as exc:
             return ControlOutcome.fail(
                 Cause.ric_request(Cause.ADMISSION_REFUSED, str(exc))
             )

@@ -528,3 +528,45 @@ class TestKeepalive:
         server.keepalive_tick()
         assert len(expired) == 1
         assert server.agents() == []
+
+
+# -- runtime analysis integration (REPRO_ANALYSIS=1) -----------------
+
+
+class TestAnalysisUnderChaos:
+    """With REPRO_ANALYSIS=1 the chaos suite runs fully instrumented;
+    this spot-check asserts the resync slow path (park → adopt →
+    re-publish) keeps publishing frozen snapshots rather than quietly
+    reverting to bare dicts."""
+
+    pytestmark = pytest.mark.skipif(
+        os.environ.get("REPRO_ANALYSIS", "") not in ("1", "true", "yes"),
+        reason="requires REPRO_ANALYSIS=1 instrumentation",
+    )
+
+    def test_snapshots_stay_frozen_across_reconnect(self):
+        from repro.analysis.cow import FrozenSnapshot
+
+        transport = InProcTransport()
+        server = Server(ServerConfig())
+        server.listen(transport, "ric")
+        agent = Agent(AgentConfig(node_id=make_node()), transport)
+        agent.register_function(HwRanFunction())
+        try:
+            origin = agent.connect("ric")
+            server.subscribe(
+                conn_id=server.agents()[0].conn_id,
+                ran_function_id=HW.default_function_id,
+                event_trigger=PeriodicTrigger(1.0).to_bytes("fb"),
+                actions=[RicActionDefinition(1, RicActionKind.REPORT)],
+                callbacks=SubscriptionCallbacks(),
+            )
+            assert isinstance(server.submgr._route, FrozenSnapshot)
+            agent.disconnect(origin)
+            agent.connect("ric")
+            assert isinstance(server._route_conns, FrozenSnapshot)
+            assert isinstance(server._route_by_endpoint, FrozenSnapshot)
+            assert isinstance(server.submgr._route, FrozenSnapshot)
+        finally:
+            transport.stop()
+            server.close()

@@ -79,8 +79,8 @@ class TestWorkerDispatch:
         subscribe(server, on_indication)
         for _ in range(50):
             function.pump()
-        deadline = time.time() + 5.0
-        while len(seen) < 50 and time.time() < deadline:
+        deadline = time.monotonic() + 5.0
+        while len(seen) < 50 and time.monotonic() < deadline:
             time.sleep(0.01)
         assert sorted(seen) == list(range(50))
         server.close()

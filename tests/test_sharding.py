@@ -377,3 +377,51 @@ class TestServerBatchPath:
         finally:
             transport.stop()
             server.close()
+
+
+# -- runtime analysis integration (REPRO_ANALYSIS=1) -----------------
+
+
+class TestAnalysisIntegration:
+    """Live-server checks for the CI race-detect job: with the
+    instrumentation installed, the routing snapshots a sharded server
+    publishes are mutation-raising proxies and its locks feed the
+    global lock-order graph (the autouse conftest guard fails any test
+    that records an inversion)."""
+
+    pytestmark = pytest.mark.skipif(
+        os.environ.get("REPRO_ANALYSIS", "") not in ("1", "true", "yes"),
+        reason="requires REPRO_ANALYSIS=1 instrumentation",
+    )
+
+    def test_live_snapshots_are_frozen_and_mutation_raises(self):
+        from repro.analysis.cow import FrozenSnapshot, SnapshotMutationError
+
+        transport = InProcTransport(shards=2)
+        server = Server(ServerConfig(shards=2))
+        server.listen(transport, "ric")
+        agent = Agent(AgentConfig(node_id=make_node()), transport)
+        agent.register_function(HwRanFunction())
+        try:
+            agent.connect("ric")
+            assert isinstance(server._route_conns, FrozenSnapshot)
+            assert isinstance(server._route_by_endpoint, FrozenSnapshot)
+            assert isinstance(server.submgr._route, FrozenSnapshot)
+            with pytest.raises(SnapshotMutationError):
+                server._route_conns[999] = None
+            with pytest.raises(SnapshotMutationError):
+                server.submgr._route.clear()
+        finally:
+            transport.stop()
+            server.close()
+
+    def test_server_locks_are_tracked(self):
+        from repro.analysis.locks import TrackedLock, TrackedRLock
+
+        server = Server(ServerConfig())
+        try:
+            assert isinstance(server._lock, TrackedLock)
+            assert isinstance(server._slow_lock, TrackedRLock)
+            assert isinstance(server.submgr._lock, TrackedRLock)
+        finally:
+            server.close()

@@ -270,8 +270,8 @@ class TestTcp:
                 ),
             )
             conn = transport.connect(f"127.0.0.1:{listener.port}", TransportEvents())
-            deadline = time.time() + 5
-            while not server_conns and time.time() < deadline:
+            deadline = time.monotonic() + 5
+            while not server_conns and time.monotonic() < deadline:
                 time.sleep(0.01)
             conn.close()
             assert dropped.wait(5.0)
@@ -332,8 +332,8 @@ class TestTcp:
             ]
             for index, conn in enumerate(conns):
                 conn.send(f"m{index}".encode())
-            deadline = time.time() + 5
-            while len(got) < 8 and time.time() < deadline:
+            deadline = time.monotonic() + 5
+            while len(got) < 8 and time.monotonic() < deadline:
                 time.sleep(0.01)
             assert sorted(got) == sorted(f"m{i}".encode() for i in range(8))
         finally:
