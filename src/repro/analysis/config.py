@@ -45,7 +45,12 @@ class LintConfig:
 
     #: function names that implement shard selector/dispatch loops;
     #: blocking calls inside them must be bounded by a timeout (RL004).
-    loop_functions: FrozenSet[str] = frozenset({"_run", "_poll", "_shard_run"})
+    #: ``_worker_run`` is the bounded overload worker pool's loop — the
+    #: queue/admission paths of DESIGN.md §13 live under the same
+    #: bounded-blocking rule as the transport shard loops.
+    loop_functions: FrozenSet[str] = frozenset(
+        {"_run", "_poll", "_shard_run", "_worker_run"}
+    )
 
     #: blocking call names RL004 audits inside loop functions.
     blocking_calls: FrozenSet[str] = frozenset(

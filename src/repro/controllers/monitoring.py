@@ -159,6 +159,16 @@ class StatsMonitorIApp(IApp):
         """
         return _TRACER.stage_breakdown()
 
+    def overload_state(self) -> Dict[str, dict]:
+        """The attached server's overload snapshot (DESIGN.md §13).
+
+        Drop counters, queue depth/watermark gauges and admission
+        state, in the same JSON shape the ``/metrics/overload`` REST
+        route serves — so an operator xApp polling this iApp sees
+        degradation (shed indications, refused setups) as it happens.
+        """
+        return self.server.overload_state()
+
     def _store_indication(self, event) -> None:
         self.indications_received += 1
         key = (event.requestor_id, event.instance_id)

@@ -39,11 +39,13 @@ from repro.core.e2ap.ies import (
     RicActionNotAdmitted,
 )
 from repro.core.e2ap.procedures import Cause
+from repro.core.overload import FairShareLimiter
 from repro.core.server.iapp import IApp
 from repro.core.server.randb import AgentRecord
 from repro.core.server.server import Server, ServerConfig
 from repro.core.server.submgr import SubscriptionCallbacks
 from repro.core.transport.base import Transport
+from repro.metrics.counters import get_counter
 from repro.northbound.broker import Broker
 from repro.sm import mac_stats, rrc_conf, slice_ctrl
 from repro.sm.base import PeriodicTrigger, decode_payload, encode_payload
@@ -151,6 +153,8 @@ class _VirtualMacStats(RanFunction):
             tenant = self._controller.tenant_by_origin(handle.origin)
             if tenant is None:
                 continue
+            if not self._controller.acquire_indication(tenant):
+                continue
             ues = []
             for entry in tree["ues"]:
                 rnti = entry["rnti"]
@@ -191,6 +195,8 @@ class _VirtualRrc(RanFunction):
             tenant = self._controller.tenant_by_origin(handle.origin)
             if tenant is None or event.rnti not in tenant.config.subscribers:
                 continue
+            if not self._controller.acquire_indication(tenant):
+                continue
             self.emit(handle, action_id=1, header=b"", payload=payload)
 
 
@@ -207,6 +213,13 @@ class _VirtualSliceCtrl(RanFunction):
         tenant = self._controller.tenant_by_origin(origin)
         if tenant is None:
             return ControlOutcome.fail(Cause.ric_request(Cause.ADMISSION_REFUSED, "unknown tenant"))
+        if not self._controller.acquire_control(tenant):
+            return ControlOutcome.fail(
+                Cause.ric_request(
+                    Cause.ADMISSION_REFUSED,
+                    f"tenant {tenant.config.name!r} control budget exhausted",
+                )
+            )
         command = decode_payload(payload, self._sm_codec)
         try:
             cmd = command["cmd"]
@@ -248,10 +261,27 @@ class VirtualizationController:
         node_id: Optional[GlobalE2NodeId] = None,
         stale_grace_s: float = 0.0,
         reconnect: Optional[ReconnectPolicy] = None,
+        controller_ind_capacity_s: float = 0.0,
+        controller_ctrl_capacity_s: float = 0.0,
     ) -> None:
         total = sum(tenant.share for tenant in tenants)
         if total > 1.0 + 1e-9:
             raise ValueError(f"tenant SLAs exceed the infrastructure: {total:.3f} > 1")
+        # The NVS share math extended from radio resources to this
+        # controller's own capacity (DESIGN.md §13): tenant ``i`` may
+        # draw at most ``q_i * C`` indication emissions / control
+        # executions per second.  0 (default) disables the limiters.
+        shares = {tenant.name: tenant.share for tenant in tenants}
+        self.ind_limiter = (
+            FairShareLimiter(controller_ind_capacity_s, shares)
+            if controller_ind_capacity_s > 0
+            else None
+        )
+        self.ctrl_limiter = (
+            FairShareLimiter(controller_ctrl_capacity_s, shares)
+            if controller_ctrl_capacity_s > 0
+            else None
+        )
         self.sm_codec = sm_codec
         self.stats_period_ms = stats_period_ms
         self.transport = transport
@@ -297,6 +327,31 @@ class VirtualizationController:
 
     def tenant(self, name: str) -> _TenantState:
         return self._tenants[name]
+
+    # -- per-tenant fair shares over controller capacity ---------------
+
+    def acquire_indication(self, tenant: _TenantState) -> bool:
+        """Charge one indication emission to the tenant's fair share."""
+        limiter = self.ind_limiter
+        if limiter is None or limiter.try_acquire(tenant.config.name):
+            return True
+        get_counter(f"overload.tenant.{tenant.config.name}.ind_drops").incr()
+        return False
+
+    def acquire_control(self, tenant: _TenantState) -> bool:
+        """Charge one control execution to the tenant's fair share."""
+        limiter = self.ctrl_limiter
+        if limiter is None or limiter.try_acquire(tenant.config.name):
+            return True
+        get_counter(f"overload.tenant.{tenant.config.name}.ctrl_rejects").incr()
+        return False
+
+    def tenant_rate_state(self) -> Dict[str, Any]:
+        """Per-tenant rate-limit snapshot for the northbound routes."""
+        return {
+            "indications": self.ind_limiter.state() if self.ind_limiter else None,
+            "controls": self.ctrl_limiter.state() if self.ctrl_limiter else None,
+        }
 
     def connect_tenant(self, name: str, controller_address: str) -> int:
         """Attach northbound to one tenant's controller (E2 recursion)."""

@@ -1,0 +1,574 @@
+"""Overload discipline: bounded queues, admission control, fair shares.
+
+The FlexRIC figures measure the RIC at or below capacity; this module
+is the layer for the regime *above* capacity (DESIGN.md §13), where a
+controller serving thousands of nodes must degrade gracefully instead
+of growing queues without bound:
+
+* :class:`TrafficClass` / :func:`frame_classifier` — the two-class
+  policy.  Everything that keeps the control plane alive (E2 setup,
+  subscriptions, control procedures, RicServiceQuery keepalives) is
+  CONTROL and is never shed; RIC indications are INDICATION and are
+  droppable under pressure, exactly as O-RAN telemetry semantics allow
+  (a lost KPM report is superseded by the next one).
+* :class:`QueuePressure` — per-queue depth/high-watermark accounting
+  plus, when bounded, the shed/degrade policy: above the high
+  watermark the queue enters a degraded state where arriving
+  indication bursts are coalesced to their newest frames and the hard
+  depth bound is enforced by dropping the *oldest* indications first.
+* :class:`AdmissionController` — token buckets and a concurrent-
+  procedure cap over E2 setup / RIC subscription storms, with a
+  slow-start ramp after ``node_recovered`` so a reconnect storm does
+  not immediately re-trigger the collapse it recovered from.
+* :class:`FairShareLimiter` — the Appendix B NVS share math extended
+  from radio resources to controller capacity: tenant ``i`` with share
+  ``q_i`` owns a token bucket refilled at ``q_i * C`` where ``C`` is
+  the controller's provisioned capacity, so one greedy tenant cannot
+  starve the rest of indication dispatch or control issuance.
+* :class:`BoundedWorkerPool` — a drop-aware replacement for the
+  unbounded indication worker pool.
+
+Every drop is counted per class (``overload.drop.{cls}``) and per
+connection (``overload.conn.{conn}.drops``); queue state is published
+through ``queue.{scope}.depth`` / ``.hwm`` / ``.degraded`` gauges so
+the northbound ``/metrics/overload`` route can report overload state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.codec.base import CodecError
+from repro.core.e2ap.procedures import ProcedureCode
+from repro.metrics.counters import get_counter, get_gauge
+
+_IND_CODE = int(ProcedureCode.RIC_INDICATION)
+
+
+class TrafficClass(IntEnum):
+    """Two-class shed policy: control is never dropped before data."""
+
+    CONTROL = 0
+    INDICATION = 1
+
+    @property
+    def label(self) -> str:
+        return "control" if self is TrafficClass.CONTROL else "indication"
+
+
+def classify_procedure(procedure: int) -> TrafficClass:
+    """Map an E2AP procedure code to its traffic class.
+
+    Only RIC indications are droppable.  Everything else — setup,
+    subscription lifecycle, control, service query/update keepalives,
+    configuration updates, resets — is control-class: shedding any of
+    it turns transient overload into lifecycle damage (a node declared
+    stale because its keepalive reply sat behind a KPM flood).
+    """
+    if procedure == _IND_CODE:
+        return TrafficClass.INDICATION
+    return TrafficClass.CONTROL
+
+
+def frame_classifier(codec) -> Callable[[bytes], TrafficClass]:
+    """Build a ``bytes -> TrafficClass`` classifier over ``codec``.
+
+    Uses the codec's one-pass ``decode_route`` envelope read when
+    available.  A frame that cannot be classified is CONTROL: the
+    decode error is the server's to count and contain — the overload
+    layer must never shed a frame it does not understand.
+    """
+    route = getattr(codec, "decode_route", None)
+
+    def classify(data: bytes) -> TrafficClass:
+        try:
+            if route is not None:
+                procedure = route(data)[0]
+            else:
+                procedure = codec.decode(data)["p"]
+        except (CodecError, KeyError, TypeError, ValueError, IndexError):
+            return TrafficClass.CONTROL
+        return classify_procedure(procedure)
+
+    return classify
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Tunable surface of the overload-discipline layer.
+
+    The defaults bound a shard queue to a few thousand frames (a few
+    MB of 100-byte indications) and admit setup/subscription bursts an
+    order of magnitude above steady-state rates before rejecting.
+    """
+
+    #: hard per-queue bound on droppable (indication) frames.  Control
+    #: frames are admitted past this bound — the queue's true limit is
+    #: ``max_queue_depth`` plus in-flight control traffic, which is
+    #: small by construction.
+    max_queue_depth: int = 4096
+    #: depth at which the queue enters the degraded state (sheds
+    #: oldest indications, coalesces bursts).  Exit at half this depth
+    #: (hysteresis, so the state does not flap around the threshold).
+    high_watermark: int = 1024
+    #: in the degraded state, an arriving indication burst from one
+    #: connection is coalesced to its newest this-many frames.
+    burst_coalesce: int = 64
+    #: bound on the server-side indication worker-pool backlog.
+    worker_queue_depth: int = 4096
+    #: E2 setup admission: sustained rate (per second) and burst.
+    setup_rate_s: float = 100.0
+    setup_burst: int = 50
+    #: RIC subscription admission: sustained rate (per second), burst,
+    #: and a cap on concurrently outstanding (unconfirmed) requests.
+    subscription_rate_s: float = 200.0
+    subscription_burst: int = 100
+    max_pending_subscriptions: int = 512
+    #: after ``node_recovered``, admission rates ramp linearly from
+    #: ``slow_start_floor`` of nominal back to nominal over this many
+    #: seconds, so a reconnect storm re-admits gradually.
+    slow_start_s: float = 5.0
+    slow_start_floor: float = 0.1
+
+
+class TokenBucket:
+    """Monotonic-clock token bucket (thread-safe).
+
+    ``rate`` tokens per second, capped at ``burst``.  ``rate_scale``
+    lets the admission controller's slow-start ramp throttle refill
+    without rebuilding the bucket.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_last", "_time_fn", "_lock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        time_fn: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate < 0 or burst <= 0:
+            raise ValueError(f"need rate >= 0 and burst > 0, got {rate}/{burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._time_fn = time_fn
+        self._last = time_fn()
+        self._lock = threading.Lock()
+
+    def _refill(self, rate_scale: float) -> None:
+        now = self._time_fn()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self.tokens = min(
+                self.burst, self.tokens + elapsed * self.rate * rate_scale
+            )
+            self._last = now
+
+    def try_acquire(self, n: float = 1.0, rate_scale: float = 1.0) -> bool:
+        with self._lock:
+            self._refill(rate_scale)
+            if self.tokens >= n:
+                self.tokens -= n
+                return True
+            return False
+
+    def available(self, rate_scale: float = 1.0) -> float:
+        with self._lock:
+            self._refill(rate_scale)
+            return self.tokens
+
+    def time_to_tokens(self, n: float = 1.0, rate_scale: float = 1.0) -> float:
+        """Seconds until ``n`` tokens are available (0 if already)."""
+        with self._lock:
+            self._refill(rate_scale)
+            deficit = n - self.tokens
+            if deficit <= 0:
+                return 0.0
+            effective = self.rate * rate_scale
+            if effective <= 0:
+                return float("inf")
+            return deficit / effective
+
+
+def count_drop(cls: TrafficClass, conn_label: object, dropped: int) -> None:
+    """Account ``dropped`` shed frames per class and per connection."""
+    get_counter(f"overload.drop.{cls.label}").incr(dropped)
+    get_counter(f"overload.conn.{conn_label}.drops").incr(dropped)
+
+
+class QueuePressure:
+    """Depth/degrade accounting for one ingest queue.
+
+    Two modes:
+
+    * accounting-only (``config is None``) — publishes depth and
+      high-watermark gauges; never touches the traffic.  This is the
+      always-on mode of the inproc shard queues.
+    * bounded (``config`` set, ``classify`` set) — additionally runs
+      the shed/degrade policy via :meth:`admit`.
+
+    ``note_depth`` is called from producer and consumer threads; the
+    gauge stores are atomic and the degrade transition is serialized
+    under a small lock so the enter counter is exact.
+    """
+
+    __slots__ = (
+        "scope",
+        "config",
+        "classify",
+        "depth_gauge",
+        "hwm_gauge",
+        "degraded_gauge",
+        "hwm",
+        "degraded",
+        "_depth",
+        "_exit_depth",
+        "_state_lock",
+    )
+
+    def __init__(
+        self,
+        scope: str,
+        config: Optional[OverloadConfig] = None,
+        classify: Optional[Callable[[bytes], TrafficClass]] = None,
+    ) -> None:
+        if config is not None and classify is None:
+            raise ValueError("bounded QueuePressure requires a classifier")
+        self.scope = scope
+        self.config = config
+        self.classify = classify
+        self.depth_gauge = get_gauge(f"queue.{scope}.depth")
+        self.hwm_gauge = get_gauge(f"queue.{scope}.hwm")
+        self.degraded_gauge = get_gauge(f"queue.{scope}.degraded")
+        self.hwm = 0
+        self.degraded = False
+        self._depth = 0
+        self._exit_depth = (config.high_watermark // 2) if config else 0
+        self._state_lock = threading.Lock()
+
+    @property
+    def bounded(self) -> bool:
+        return self.config is not None
+
+    @property
+    def frame_depth(self) -> int:
+        """Frames outstanding, as tracked by :meth:`add_frames`."""
+        return self._depth
+
+    def add_frames(self, delta: int) -> int:
+        """Adjust the tracked frame depth by ``delta`` (thread-safe).
+
+        Queues that store variable-size bursts per item (the inproc
+        shard deque) cannot read their frame depth from ``len()``;
+        producers and the consumer keep this locked tally instead.
+        Returns the new depth after publishing it via ``note_depth``.
+        """
+        with self._state_lock:
+            depth = self._depth + delta
+            if depth < 0:
+                depth = 0
+            self._depth = depth
+        self.note_depth(depth)
+        return depth
+
+    def note_depth(self, depth: int) -> None:
+        """Publish ``depth`` and drive the degrade state machine."""
+        self.depth_gauge.set(depth)
+        if depth > self.hwm:
+            self.hwm = depth
+            self.hwm_gauge.set(depth)
+        config = self.config
+        if config is None:
+            return
+        if not self.degraded:
+            if depth >= config.high_watermark:
+                with self._state_lock:
+                    if not self.degraded:
+                        self.degraded = True
+                        self.degraded_gauge.set(1)
+                        get_counter("overload.degrade.enter").incr()
+        elif depth <= self._exit_depth:
+            with self._state_lock:
+                if self.degraded:
+                    self.degraded = False
+                    self.degraded_gauge.set(0)
+
+    def admit(
+        self, frames: List[bytes], depth: int, conn_label: object
+    ) -> List[bytes]:
+        """Apply the shed policy to an arriving burst.
+
+        ``depth`` is the queue depth the burst would land behind.
+        Below the high watermark the burst passes untouched (the fast
+        path: one comparison).  Under pressure, control frames are
+        always admitted; indications are admitted newest-first (shed
+        oldest) up to the remaining room, further clamped to
+        ``burst_coalesce`` per burst in the degraded state.  Returns
+        the admitted frames in their original order.
+        """
+        config = self.config
+        if config is None:
+            return frames
+        if not self.degraded and depth + len(frames) <= config.high_watermark:
+            return frames
+        classify = self.classify
+        room = config.max_queue_depth - depth
+        budget = min(room, config.burst_coalesce) if self.degraded else room
+        keep = [False] * len(frames)
+        kept_ind = 0
+        dropped = 0
+        # Walk newest-to-oldest so "shed oldest first" falls out of the
+        # budget running dry.
+        for index in range(len(frames) - 1, -1, -1):
+            if classify(frames[index]) is TrafficClass.CONTROL:
+                keep[index] = True
+            elif kept_ind < budget:
+                keep[index] = True
+                kept_ind += 1
+            else:
+                dropped += 1
+        if not dropped:
+            return frames
+        count_drop(TrafficClass.INDICATION, conn_label, dropped)
+        if self.degraded and room > config.burst_coalesce:
+            # Drops forced by burst coalescing rather than the hard
+            # depth bound; kept distinct so a dashboard can tell
+            # "smoothing bursts" from "queue is full".
+            get_counter("overload.coalesced").incr(dropped)
+        return [frame for frame, kept in zip(frames, keep) if kept]
+
+
+class BoundedWorkerPool:
+    """Bounded, drop-aware worker pool for indication dispatch.
+
+    Replaces the unbounded ``ThreadPoolExecutor`` hand-off when
+    overload discipline is enabled: a submit that would push the
+    backlog past the bound drops the indication (counted) instead of
+    queueing it forever.  Only indications are submitted here — the
+    control plane runs inline on the ingest threads — so the drop
+    policy needs no classifier.
+    """
+
+    def __init__(
+        self, workers: int, max_depth: int, scope: str = "server.pool"
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be > 0, got {workers}")
+        self._max_depth = max_depth
+        self._queue: Deque[Tuple[Callable, object]] = deque()
+        self._cond = threading.Condition()
+        self._running = True
+        self.pressure = QueuePressure(scope)
+        self._threads = [
+            threading.Thread(
+                target=self._worker_run, name=f"{scope}-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, fn: Callable, event: object) -> bool:
+        """Run ``fn(event)`` on a worker; False if dropped at the bound."""
+        depth = len(self._queue)
+        if depth >= self._max_depth:
+            count_drop(
+                TrafficClass.INDICATION, getattr(event, "conn_id", "pool"), 1
+            )
+            self.pressure.note_depth(depth)
+            return False
+        self._queue.append((fn, event))
+        self.pressure.note_depth(depth + 1)
+        with self._cond:
+            self._cond.notify()
+        return True
+
+    def _worker_run(self) -> None:
+        queue = self._queue
+        while True:
+            try:
+                fn, event = queue.popleft()
+            except IndexError:
+                with self._cond:
+                    if not queue:
+                        if not self._running:
+                            return
+                        self._cond.wait(timeout=0.1)
+                continue
+            self.pressure.note_depth(len(queue))
+            try:
+                fn(event)
+            except Exception:  # repro-lint: disable=RL002 — worker survives iApp errors
+                get_counter("server.pool.errors").incr()
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._cond:
+            self._running = False
+            self._cond.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class AdmissionController:
+    """Token-bucket + concurrent-cap admission over E2 procedures.
+
+    Setup and subscription requests draw from separate buckets so a
+    subscription storm cannot starve node attach.  After a node
+    recovery the effective refill rate ramps from ``slow_start_floor``
+    of nominal back to nominal over ``slow_start_s`` seconds.
+    """
+
+    def __init__(
+        self,
+        config: OverloadConfig,
+        time_fn: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self._time_fn = time_fn
+        self._setup_bucket = TokenBucket(
+            config.setup_rate_s, config.setup_burst, time_fn
+        )
+        self._sub_bucket = TokenBucket(
+            config.subscription_rate_s, config.subscription_burst, time_fn
+        )
+        self._lock = threading.Lock()
+        self._pending_subscriptions = 0
+        self._slow_until: Optional[float] = None
+
+    def _rate_scale(self) -> float:
+        slow_until = self._slow_until
+        if slow_until is None:
+            return 1.0
+        now = self._time_fn()
+        if now >= slow_until:
+            self._slow_until = None
+            return 1.0
+        config = self.config
+        progress = 1.0 - (slow_until - now) / config.slow_start_s
+        floor = config.slow_start_floor
+        return floor + (1.0 - floor) * progress
+
+    def admit_setup(self) -> Optional[float]:
+        """None if admitted; else a retry-after hint in seconds."""
+        scale = self._rate_scale()
+        if self._setup_bucket.try_acquire(1.0, scale):
+            return None
+        get_counter("server.admission.reject.setup").incr()
+        hint = self._setup_bucket.time_to_tokens(1.0, scale)
+        if hint == float("inf"):
+            hint = self.config.slow_start_s
+        return max(0.05, min(hint, 30.0))
+
+    def admit_subscription(self) -> bool:
+        with self._lock:
+            if self._pending_subscriptions >= self.config.max_pending_subscriptions:
+                get_counter("server.admission.reject.subscription").incr()
+                return False
+        if not self._sub_bucket.try_acquire(1.0, self._rate_scale()):
+            get_counter("server.admission.reject.subscription").incr()
+            return False
+        with self._lock:
+            self._pending_subscriptions += 1
+        return True
+
+    def release_subscription(self) -> None:
+        """A pending subscription reached an outcome (confirm/fail)."""
+        with self._lock:
+            if self._pending_subscriptions > 0:
+                self._pending_subscriptions -= 1
+
+    def set_pending(self, pending: int) -> None:
+        """Resynchronize the concurrent cap from an exact recount.
+
+        Node loss parks or drops in-flight requests whose outcomes
+        will never arrive; the server recounts unconfirmed records
+        after the lifecycle transition and installs the exact value so
+        the cap cannot leak slots.
+        """
+        with self._lock:
+            self._pending_subscriptions = max(0, int(pending))
+
+    def note_recovery(self) -> None:
+        """Begin (or restart) the slow-start ramp after node recovery."""
+        with self._lock:
+            self._slow_until = self._time_fn() + self.config.slow_start_s
+        get_counter("server.admission.slow_start").incr()
+
+    @property
+    def in_slow_start(self) -> bool:
+        slow_until = self._slow_until
+        return slow_until is not None and self._time_fn() < slow_until
+
+    def state(self) -> Dict[str, object]:
+        with self._lock:
+            pending = self._pending_subscriptions
+        scale = self._rate_scale()
+        return {
+            "setup_tokens": round(self._setup_bucket.available(scale), 3),
+            "subscription_tokens": round(self._sub_bucket.available(scale), 3),
+            "pending_subscriptions": pending,
+            "max_pending_subscriptions": self.config.max_pending_subscriptions,
+            "slow_start": self.in_slow_start,
+            "rate_scale": round(scale, 4),
+        }
+
+
+class FairShareLimiter:
+    """Per-tenant token buckets over controller capacity.
+
+    The NVS guarantee of Appendix B — tenant ``i`` holds share ``q_i``
+    of the radio — extended to the controller: tenant ``i``'s bucket
+    refills at ``q_i * C`` events/second where ``C`` is the
+    provisioned capacity, with a burst window so short spikes inside
+    the share pass untouched.  An unknown tenant is not limited (the
+    limiter governs declared tenants; admission of undeclared traffic
+    is the caller's policy).
+    """
+
+    def __init__(
+        self,
+        capacity_per_s: float,
+        shares: Mapping[str, float],
+        burst_window_s: float = 0.25,
+        time_fn: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity_per_s <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity_per_s}")
+        self.capacity_per_s = float(capacity_per_s)
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._shares: Dict[str, float] = {}
+        for name, share in shares.items():
+            rate = capacity_per_s * float(share)
+            self._buckets[name] = TokenBucket(
+                rate, max(1.0, rate * burst_window_s), time_fn
+            )
+            self._shares[name] = float(share)
+
+    def try_acquire(self, tenant: str, n: float = 1.0) -> bool:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            return True
+        return bucket.try_acquire(n)
+
+    def state(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant share/rate/tokens snapshot; refreshes gauges."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, bucket in self._buckets.items():
+            tokens = bucket.available()
+            get_gauge(f"overload.tenant.{name}.tokens").set(int(tokens))
+            out[name] = {
+                "share": self._shares[name],
+                "rate_per_s": bucket.rate,
+                "tokens": round(tokens, 3),
+            }
+        return out

@@ -27,6 +27,7 @@ from repro.core.codec.base import Codec, CodecError, get_codec
 from repro.core.e2ap.ies import GlobalE2NodeId, RicActionDefinition, RicRequestId
 from repro.core.e2ap.messages import (
     E2Message,
+    E2SetupFailure,
     E2SetupRequest,
     E2SetupResponse,
     RicControlAcknowledge,
@@ -46,6 +47,12 @@ from repro.core.e2ap.messages import (
     encode_message,
 )
 from repro.core.e2ap.procedures import Cause, CauseKind, MessageClass, ProcedureCode
+from repro.core.overload import (
+    AdmissionController,
+    BoundedWorkerPool,
+    OverloadConfig,
+    frame_classifier,
+)
 from repro.core.server import events as topics
 from repro.core.server.events import EventBus
 from repro.core.server.iapp import IApp
@@ -62,7 +69,7 @@ from repro.core.transport.base import (
     Transport,
     TransportEvents,
 )
-from repro.metrics.counters import get_counter
+from repro.metrics.counters import counter_values, gauge_values, get_counter
 from repro.metrics.cpu import CpuMeter
 from repro.metrics.memory import MemoryMeter
 from repro.metrics.trace import TRACER as _TRACER
@@ -102,6 +109,10 @@ class ServerConfig:
     #: host but stays modest — ingest shards are I/O loops, not compute
     #: workers.
     shards: int = field(default_factory=lambda: min(4, os.cpu_count() or 1))
+    #: overload discipline (DESIGN.md §13): bounded class-aware ingest
+    #: queues, setup/subscription admission control, degrade states.
+    #: None (default) keeps the unbounded legacy behaviour exactly.
+    overload: Optional[OverloadConfig] = None
 
 
 #: hoisted: the indication hot loop compares against this constant.
@@ -280,14 +291,33 @@ class Server:
         self._stale: Dict[GlobalE2NodeId, _StaleNode] = {}
         self._liveness_thread: Optional[threading.Thread] = None
         self._liveness_running = False
+        #: overload discipline (None = legacy unbounded behaviour).
+        self.overload = self.config.overload
+        self._classify = (
+            frame_classifier(self.codec) if self.overload is not None else None
+        )
+        self.admission = (
+            AdmissionController(self.overload, time_fn=self.time_fn)
+            if self.overload is not None
+            else None
+        )
         self._pool = None
         if self.config.indication_workers > 0:
-            from concurrent.futures import ThreadPoolExecutor
+            if self.overload is not None:
+                # Bounded hand-off: a worker backlog past the configured
+                # depth drops the indication (counted) instead of
+                # queueing unboundedly inside the executor.
+                self._pool = BoundedWorkerPool(
+                    workers=self.config.indication_workers,
+                    max_depth=self.overload.worker_queue_depth,
+                )
+            else:
+                from concurrent.futures import ThreadPoolExecutor
 
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.config.indication_workers,
-                thread_name_prefix="ind-worker",
-            )
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.config.indication_workers,
+                    thread_name_prefix="ind-worker",
+                )
         self.memory.track("randb", lambda: self.randb)
         self.memory.track("submgr", lambda: self.submgr)
 
@@ -318,12 +348,19 @@ class Server:
             from repro.core.transport.tcp import TcpTransport
 
             return TcpTransport(
-                shards=self.config.shards, reuseport=self.config.shards > 1
+                shards=self.config.shards,
+                reuseport=self.config.shards > 1,
+                overload=self.overload,
+                classify=self._classify,
             )
         if kind == "inproc":
             from repro.core.transport.inproc import InProcTransport
 
-            return InProcTransport(shards=self.config.shards)
+            return InProcTransport(
+                shards=self.config.shards,
+                overload=self.overload,
+                classify=self._classify,
+            )
         raise ValueError(f"unknown transport kind: {kind!r}")
 
     def add_iapp(self, iapp: IApp) -> None:
@@ -355,7 +392,37 @@ class Server:
         callbacks: SubscriptionCallbacks,
         requestor_id: Optional[int] = None,
     ) -> SubscriptionRecord:
-        """Send a subscription request on behalf of an iApp/xApp."""
+        """Send a subscription request on behalf of an iApp/xApp.
+
+        Under overload discipline a subscription storm past the token
+        bucket / concurrent-cap is refused locally: the record is never
+        registered and ``callbacks.on_failure`` fires synchronously
+        with an ADMISSION_REFUSED cause — the same signature a remote
+        :class:`RicSubscriptionFailure` would have.
+        """
+        admission = self.admission
+        if admission is not None and not admission.admit_subscription():
+            record = self.submgr.create(
+                conn_id=conn_id,
+                ran_function_id=ran_function_id,
+                callbacks=callbacks,
+                actions=actions,
+                requestor_id=requestor_id,
+                event_trigger=event_trigger,
+            )
+            self.submgr.remove(record.request)
+            if callbacks.on_failure is not None:
+                callbacks.on_failure(
+                    RicSubscriptionFailure(
+                        request=record.request,
+                        ran_function_id=ran_function_id,
+                        cause=Cause.ric_request(
+                            Cause.ADMISSION_REFUSED,
+                            "subscription admission refused (overload)",
+                        ),
+                    )
+                )
+            return record
         record = self.submgr.create(
             conn_id=conn_id,
             ran_function_id=ran_function_id,
@@ -454,6 +521,38 @@ class Server:
         """Escape hatch for relays/virtualization layers."""
         self._send(conn_id, message)
 
+    def overload_state(self) -> Dict[str, Any]:
+        """Operator-facing snapshot of the overload discipline.
+
+        Drop counters, queue pressure gauges and admission state in
+        one JSON-able dict; served northbound via the ``/metrics/
+        overload`` route so :class:`StatsMonitorIApp` and dashboards
+        can see degradation as it happens, not post-mortem.
+        """
+        counters = counter_values()
+        gauges = gauge_values()
+        return {
+            "enabled": self.overload is not None,
+            "drops": {
+                name: value
+                for name, value in counters.items()
+                if name.startswith("overload.") and value
+            },
+            "admission": {
+                "rejects": {
+                    name: value
+                    for name, value in counters.items()
+                    if name.startswith("server.admission.") and value
+                },
+                "state": self.admission.state() if self.admission else None,
+            },
+            "queues": {
+                name: value
+                for name, value in gauges.items()
+                if name.startswith("queue.")
+            },
+        }
+
     # -- transport events ----------------------------------------------
 
     @cow_mutator
@@ -507,6 +606,7 @@ class Server:
             # Legacy lifecycle: a disconnect is terminal.
             self.submgr.drop_conn(conn_id)
             self.randb.remove_agent(conn_id)
+            self._resync_admission_pending()
             self.events.publish(topics.AGENT_DISCONNECTED, record)
             for iapp in self._iapps:
                 iapp.on_agent_disconnected(record)
@@ -527,7 +627,22 @@ class Server:
             stale.subscriptions = list({id(r): r for r in stale.subscriptions + parked}.values())
             stale.deadline = now + self.config.stale_grace_s
         get_counter("server.node.stale").incr()
+        self._resync_admission_pending()
         self.events.publish(topics.NODE_STALE, record)
+
+    def _resync_admission_pending(self) -> None:
+        """Recount outstanding subscriptions after a lifecycle event.
+
+        Node loss parks or drops requests whose confirm/fail outcomes
+        will never arrive; an exact recount (rare-path O(n)) keeps the
+        admission controller's concurrent cap from leaking slots.
+        """
+        if self.admission is None:
+            return
+        pending = sum(
+            1 for rec in self.submgr.active_records() if not rec.confirmed
+        )
+        self.admission.set_pending(pending)
 
     def _on_message(self, endpoint: Endpoint, data: bytes) -> None:
         state = self._route_by_endpoint.get(id(endpoint))
@@ -646,6 +761,8 @@ class Server:
                 self.submgr.confirm(RicSubscriptionResponse.from_value(body))
             else:
                 self.submgr.fail(RicSubscriptionFailure.from_value(body))
+            if self.admission is not None:
+                self.admission.release_subscription()
         elif procedure == int(ProcedureCode.RIC_SUBSCRIPTION_DELETE):
             if msg_class == int(MessageClass.SUCCESSFUL):
                 self.submgr.deleted(RicSubscriptionDeleteResponse.from_value(body))
@@ -686,6 +803,31 @@ class Server:
         # Unknown procedures are ignored at the server (forward compat).
 
     def _handle_setup(self, state: _ConnState, request: E2SetupRequest) -> None:
+        admission = self.admission
+        if admission is not None:
+            retry_after = admission.admit_setup()
+            if retry_after is not None:
+                # Explicit refusal instead of queueing forever: the
+                # agent sees an E2SetupFailure with a retry hint and
+                # an orderly close, so its reconnect backoff retries
+                # later instead of hammering a collapsing server.
+                try:
+                    state.endpoint.send(
+                        encode_message(
+                            E2SetupFailure(
+                                cause=Cause.ric_request(
+                                    Cause.ADMISSION_REFUSED,
+                                    "setup admission refused (overload)",
+                                ),
+                                time_to_wait_s=retry_after,
+                            ),
+                            self.codec,
+                        )
+                    )
+                    state.endpoint.close()
+                except (ConnectionError, OSError):
+                    pass
+                return
         existing = self.randb.find_node(request.node_id)
         if existing is not None and not existing.stale:
             # Same node identity on a new connection while the old one
@@ -775,6 +917,11 @@ class Server:
             except (ConnectionError, OSError):
                 break
         get_counter("server.node.recovered").incr()
+        if self.admission is not None:
+            # Slow-start: re-admission ramps back to nominal so the
+            # reconnect storm that follows a recovery cannot retrigger
+            # the overload the node just survived.
+            self.admission.note_recovery()
         self.events.publish(topics.NODE_RECOVERED, record)
 
     # -- liveness (keepalive + grace expiry) ---------------------------

@@ -29,6 +29,7 @@ import time
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.overload import OverloadConfig, QueuePressure, TrafficClass
 from repro.core.transport.base import (
     DisconnectReason,
     Endpoint,
@@ -36,7 +37,6 @@ from repro.core.transport.base import (
     Transport,
     TransportEvents,
 )
-from repro.metrics.counters import get_gauge
 from repro.metrics.trace import TRACER as _TRACER
 
 
@@ -52,6 +52,9 @@ class _InProcEndpoint(Endpoint):
         #: index of the dispatch shard this connection is pinned to
         #: (0 in the synchronous single-loop mode).
         self.shard = 0
+        #: per-connection label for drop accounting (assigned at
+        #: connect time; both ends of a pair share it).
+        self.conn_label = peer_label
         #: optional hook: bytes sent through this endpoint, for
         #: signaling-rate accounting (Fig. 7b) without packet capture.
         self.bytes_sent = 0
@@ -82,6 +85,7 @@ class _InProcEndpoint(Endpoint):
             self._transport._queue.append(
                 lambda: other._events.on_message(other, bytes(data))
             )
+            self._transport._dispatch_pressure.note_depth(len(self._transport._queue))
             tracer.record("send", start, tracer.adopt_corr(), node=self._peer_label)
             self._transport._drain()
             return
@@ -116,6 +120,7 @@ class _InProcEndpoint(Endpoint):
         if tracer.enabled:
             start = time.perf_counter()
             self._transport._queue.append(deliver)
+            self._transport._dispatch_pressure.note_depth(len(self._transport._queue))
             tracer.record("send", start, tracer.adopt_corr(), node=self._peer_label)
             self._transport._drain()
             return
@@ -192,7 +197,12 @@ class _InProcShard:
         self.idle = False
         self.rx_messages = 0
         self.connections = 0
-        self.depth_gauge = get_gauge(f"inproc.shard.{index}.depth")
+        #: depth/high-watermark accounting, and — when the transport
+        #: carries an :class:`OverloadConfig` — the bounded shed/
+        #: degrade policy (DESIGN.md §13).
+        self.pressure = QueuePressure(
+            f"inproc.shard.{index}", transport._overload, transport._classify
+        )
         self.thread = threading.Thread(
             target=transport._shard_run,
             args=(self,),
@@ -217,12 +227,27 @@ class InProcTransport(Transport):
 
     name = "inproc"
 
-    def __init__(self, shards: int = 0) -> None:
+    def __init__(
+        self,
+        shards: int = 0,
+        overload: Optional[OverloadConfig] = None,
+        classify: Optional[Callable[[bytes], TrafficClass]] = None,
+    ) -> None:
         if shards < 0:
             raise ValueError(f"shards must be >= 0, got {shards}")
+        if overload is not None and classify is None:
+            raise ValueError("overload policy requires a frame classifier")
         self._listeners: Dict[str, TransportEvents] = {}
         self._queue: Deque[Callable[[], None]] = deque()
         self._dispatching = False
+        #: bounded-queue policy; None keeps today's unbounded behaviour
+        #: (depth gauges stay on either way).
+        self._overload = overload
+        self._classify = classify
+        #: depth accounting for the synchronous dispatch queue — the
+        #: deepest it gets is the nesting of request/response ping-pong
+        #: plus enqueued connect/disconnect thunks.
+        self._dispatch_pressure = QueuePressure("inproc.dispatch")
         # shards in {0, 1}: the synchronous deterministic single loop
         # (today's behaviour); shards >= 2: threaded multi-loop ingest.
         self._sharded = shards >= 2
@@ -230,6 +255,7 @@ class InProcTransport(Transport):
             [_InProcShard(self, index) for index in range(shards)] if self._sharded else []
         )
         self._rr = itertools.count()
+        self._conn_seq = itertools.count(1)
         self._stopped = False
 
     @property
@@ -250,6 +276,9 @@ class InProcTransport(Transport):
         server = _InProcEndpoint(self, peer_label=f"{address}#client", events=server_events)
         client._attach(server)
         server._attach(client)
+        conn_label = f"{address}:{next(self._conn_seq)}"
+        client.conn_label = conn_label
+        server.conn_label = conn_label
         if self._sharded:
             # Both ends share one shard: every event of the connection
             # flows through one FIFO, preserving per-link ordering.
@@ -269,6 +298,7 @@ class InProcTransport(Transport):
 
     def _enqueue(self, thunk: Callable[[], None]) -> None:
         self._queue.append(thunk)
+        self._dispatch_pressure.note_depth(len(self._queue))
         self._drain()
 
     def _drain(self) -> None:
@@ -280,6 +310,7 @@ class InProcTransport(Transport):
                 self._queue.popleft()()
         finally:
             self._dispatching = False
+            self._dispatch_pressure.note_depth(0)
 
     # -- sharded dispatch (shards >= 2) ------------------------------
 
@@ -287,12 +318,27 @@ class InProcTransport(Transport):
         shard = self._shards[shard_index]
         tracer = _TRACER
         start = time.perf_counter() if tracer.enabled else 0.0
+        pressure = shard.pressure
+        if pressure.bounded:
+            # Shed/degrade policy over the tracked frame depth: under
+            # the high watermark this is one comparison; under
+            # pressure indications are shed oldest-first and control
+            # frames always pass (DESIGN.md §13).
+            frames = pressure.admit(frames, pressure.frame_depth, target.conn_label)
+            if not frames:
+                if start:
+                    tracer.record("send", start, tracer.adopt_corr())
+                return
         # deque.append is atomic under the GIL, so the hot path is
         # lock-free; the Condition is only taken to wake a worker that
         # declared itself idle (it re-checks the queue under the lock
         # before waiting, so a missed-stale ``idle`` read cannot lose a
         # wakeup — the worker sees the appended item instead).
         shard.queue.append((target, frames))
+        if pressure.bounded:
+            pressure.add_frames(len(frames))
+        else:
+            pressure.note_depth(len(shard.queue))
         if shard.idle:
             with shard.cond:
                 shard.cond.notify()
@@ -328,11 +374,24 @@ class InProcTransport(Transport):
                 pass
             if items:
                 spins = 0
-                shard.depth_gauge.set(len(items))
                 try:
                     self._dispatch_items(shard, items)
                 finally:
-                    shard.depth_gauge.set(0)
+                    pressure = shard.pressure
+                    if pressure.bounded:
+                        # Frames leave the tracked depth only after
+                        # delivery: a slow consumer keeps the depth
+                        # high, which is what arriving bursts must
+                        # observe for backpressure to mean anything.
+                        drained = sum(
+                            len(payload)
+                            for target, payload in items
+                            if target is not None
+                        )
+                        if drained:
+                            pressure.add_frames(-drained)
+                    else:
+                        pressure.note_depth(len(queue))
                 continue
             shard.busy = False
             if spins < self._IDLE_SPINS and shard.running:

@@ -31,8 +31,9 @@ import selectors
 import socket
 import threading
 import time
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
+from repro.core.overload import OverloadConfig, QueuePressure, TrafficClass
 from repro.core.transport.base import (
     ConnectTimeout,
     DisconnectReason,
@@ -179,10 +180,20 @@ class _TcpListener(Listener):
 class _Shard:
     """One independent selector loop: selector + wake pipe + thread."""
 
-    def __init__(self, index: int) -> None:
+    def __init__(
+        self,
+        index: int,
+        overload: Optional["OverloadConfig"] = None,
+        classify: Optional[Callable[[bytes], TrafficClass]] = None,
+    ) -> None:
         self.index = index
         self.selector = selectors.DefaultSelector()
         self.lock = threading.Lock()
+        #: shed/degrade accounting for this loop's ingest.  TCP's real
+        #: queue is the kernel socket buffer, so "depth" here is the
+        #: size of the batch one wakeup drained — the loop's view of
+        #: how far behind it is running.
+        self.pressure = QueuePressure(f"tcp.shard.{index}", overload, classify)
         self.thread: Optional[threading.Thread] = None
         #: sock -> endpoint, for teardown; len() is the load metric.
         self.endpoints: dict = {}
@@ -242,10 +253,16 @@ class TcpTransport(Transport):
         shards: int = 1,
         connect_timeout_s: float = 5.0,
         reuseport: bool = False,
+        overload: Optional[OverloadConfig] = None,
+        classify: Optional[Callable[[bytes], TrafficClass]] = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
-        self._shards = [_Shard(index) for index in range(shards)]
+        if overload is not None and classify is None:
+            raise ValueError("overload policy requires a frame classifier")
+        self._overload = overload
+        self._classify = classify
+        self._shards = [_Shard(index, overload, classify) for index in range(shards)]
         #: sharded loops batch-drain sockets; the single-loop transport
         #: keeps the historic one-recv/one-callback behaviour exactly.
         self._batched = shards > 1
@@ -506,8 +523,15 @@ class TcpTransport(Transport):
         # Placeholder only: every terminal path below overwrites it
         # with the specific close-cause name before it is used.
         terminal_counter = "tcp.close.error"
+        pressure = shard.pressure
+        drain_budget = self.MAX_DRAIN_BYTES
+        if pressure.degraded:
+            # Degraded loop: take smaller bites per wakeup so the
+            # selector re-arms sooner and a flooding connection cannot
+            # monopolize the shard while neighbours starve.
+            drain_budget //= 4
         messages: List[bytes] = []
-        while drained < self.MAX_DRAIN_BYTES:
+        while drained < drain_budget:
             try:
                 chunk = endpoint._sock.recv(self.RECV_SIZE)
             except BlockingIOError:
@@ -530,8 +554,16 @@ class TcpTransport(Transport):
         if trace_start and drained:
             tracer.record("recv", trace_start, node=endpoint._peer)
         if messages:
-            shard.rx_messages += len(messages)
-            endpoint._events.deliver(endpoint, messages)
+            if pressure.bounded:
+                # The drained batch *is* the queue (frames already left
+                # the kernel buffer), so admit against depth 0: keep
+                # all control frames and the newest indications up to
+                # the configured budget, shedding the oldest first.
+                pressure.note_depth(len(messages))
+                messages = pressure.admit(messages, 0, endpoint._peer)
+            if messages:
+                shard.rx_messages += len(messages)
+                endpoint._events.deliver(endpoint, messages)
         if terminal is not None:
             get_counter(terminal_counter).incr()
             self._close_endpoint(endpoint, notify_local=True, reason=terminal)

@@ -43,6 +43,13 @@ COUNTERS = frozenset(
         "server.keepalive.sent",
         "server.keepalive.dead",
         "server.liveness.errors",
+        "server.pool.errors",
+        # overload discipline (DESIGN.md §13)
+        "overload.degrade.enter",
+        "overload.coalesced",
+        "server.admission.reject.setup",
+        "server.admission.reject.subscription",
+        "server.admission.slow_start",
         # agent lifecycle
         "agent.reconnect.attempt",
         "agent.reconnect.success",
@@ -73,6 +80,12 @@ COUNTER_PATTERNS: Tuple[str, ...] = (
     "server.shard.{shard}.rx",
     # close-cause accounting (DisconnectReason.code)
     "tcp.close.{code}",
+    # overload shed accounting (traffic-class label, connection label)
+    "overload.drop.{cls}",
+    "overload.conn.{conn}.drops",
+    # per-tenant fair-share refusals (tenant name)
+    "overload.tenant.{tenant}.ind_drops",
+    "overload.tenant.{tenant}.ctrl_rejects",
 )
 
 #: exact gauge names.
@@ -84,6 +97,12 @@ GAUGE_PATTERNS: Tuple[str, ...] = (
     "inproc.shard.{index}.depth",
     # per-link lifecycle state (node label, origin id)
     "agent.{node}.link.{origin}.state",
+    # bounded-queue pressure accounting (queue scope)
+    "queue.{scope}.depth",
+    "queue.{scope}.hwm",
+    "queue.{scope}.degraded",
+    # per-tenant fair-share bucket levels (tenant name)
+    "overload.tenant.{tenant}.tokens",
 )
 
 #: exact histogram names.

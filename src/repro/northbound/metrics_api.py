@@ -7,6 +7,9 @@ latency goes without attaching a debugger:
 
 * ``GET  <prefix>``               — full registry snapshot
 * ``GET  <prefix>/histograms``    — latency histograms only
+* ``GET  <prefix>/overload``      — overload state: drop counters,
+  queue depth/watermark gauges, admission rejections, per-tenant
+  rate-limit state (DESIGN.md §13)
 * ``GET  <prefix>/trace``         — tracer snapshot (spans + stages)
 * ``GET  <prefix>/trace/stages``  — per-stage histogram summaries
 * ``POST <prefix>/trace/enable``  — turn tracing on
@@ -17,12 +20,52 @@ latency goes without attaching a debugger:
 
 from __future__ import annotations
 
+from typing import Callable, Dict, Optional
+
 from repro.metrics import counters
 from repro.metrics import trace as trace_mod
 from repro.northbound.rest import RestError, RestServer
 
 
-def attach_metrics_routes(server: RestServer, prefix: str = "/metrics") -> None:
+def overload_snapshot() -> Dict[str, object]:
+    """Registry-level view of the overload discipline.
+
+    Everything the metric registry alone can answer: shed counters by
+    class/connection/tenant, queue pressure gauges, admission
+    rejections.  Server-internal state (token levels, slow-start) is
+    merged in by the route when a provider is attached.
+    """
+    counter_snapshot = counters.counter_values()
+    gauge_snapshot = counters.gauge_values()
+    return {
+        "drops": {
+            name: value
+            for name, value in counter_snapshot.items()
+            if name.startswith("overload.") and value
+        },
+        "admission_rejects": {
+            name: value
+            for name, value in counter_snapshot.items()
+            if name.startswith("server.admission.") and value
+        },
+        "queues": {
+            name: value
+            for name, value in gauge_snapshot.items()
+            if name.startswith("queue.")
+        },
+        "tenants": {
+            name: value
+            for name, value in gauge_snapshot.items()
+            if name.startswith("overload.tenant.")
+        },
+    }
+
+
+def attach_metrics_routes(
+    server: RestServer,
+    prefix: str = "/metrics",
+    overload_state: Optional[Callable[[], Dict[str, object]]] = None,
+) -> None:
     """Register the observability routes on ``server``.
 
     Route handlers run on the REST server's request threads; the
@@ -36,6 +79,11 @@ def attach_metrics_routes(server: RestServer, prefix: str = "/metrics") -> None:
             return counters.snapshot()
         if subpath == "histograms":
             return counters.histogram_values()
+        if subpath == "overload":
+            snapshot = overload_snapshot()
+            if overload_state is not None:
+                snapshot["server"] = overload_state()
+            return snapshot
         if subpath == "trace":
             return trace_mod.TRACER.snapshot()
         if subpath == "trace/stages":

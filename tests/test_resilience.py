@@ -36,6 +36,10 @@ from repro.sm.hw import HwRanFunction, INFO as HW
 from repro.sm.mac_stats import MacStatsFunction, synthetic_provider, INFO as MAC
 
 CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+#: REPRO_OVERLOAD=1 runs the whole chaos suite with the overload
+#: discipline enabled (bounded queues, admission control): every
+#: lifecycle guarantee must hold under the shedding/admission layer.
+CHAOS_OVERLOAD = os.environ.get("REPRO_OVERLOAD", "") == "1"
 
 
 def make_node(nb_id=1, kind=NodeKind.GNB):
@@ -64,8 +68,15 @@ def chaos_wire(
 ):
     """Agent + server over FaultyTransport(InProc), reconnect armed."""
     chaos = FaultyTransport(InProcTransport(), spec or FaultSpec(), seed=seed)
+    overload = None
+    if CHAOS_OVERLOAD:
+        from repro.core.overload import OverloadConfig
+
+        overload = OverloadConfig()
     server = Server(
-        ServerConfig(stale_grace_s=stale_grace_s, keepalive_misses=2),
+        ServerConfig(
+            stale_grace_s=stale_grace_s, keepalive_misses=2, overload=overload
+        ),
         time_fn=clock or FakeClock(),
     )
     server.listen(chaos, "ric")

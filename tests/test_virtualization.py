@@ -213,3 +213,115 @@ class TestVirtualizationController:
         snapshot = bs.mac.slice_snapshot()
         shares = {e["slice_id"]: e["share"] for e in snapshot["slices"]}
         assert shares == {10: 0.5, 20: 0.5}
+
+
+def build_limited_setup(ind_capacity=0.0, ctrl_capacity=0.0):
+    """build_shared_setup with the §13 per-tenant fair-share limiters."""
+    clock = SimClock()
+    transport = InProcTransport()
+    tenant_servers = {}
+    tenant_iapps = {}
+    for name in ("A", "B"):
+        server = Server(ServerConfig(e2ap_codec="fb"))
+        server.listen(transport, f"tenant-{name}")
+        iapp = SlicingControllerIApp(sm_codec="fb", stats_period_ms=10.0)
+        server.add_iapp(iapp)
+        tenant_servers[name] = server
+        tenant_iapps[name] = iapp
+    virt = VirtualizationController(
+        transport,
+        "virt",
+        tenants=[
+            TenantConfig("A", 0.5, {1, 2}),
+            TenantConfig("B", 0.5, {3, 4}),
+        ],
+        e2ap_codec="fb",
+        sm_codec="fb",
+        stats_period_ms=10.0,
+        controller_ind_capacity_s=ind_capacity,
+        controller_ctrl_capacity_s=ctrl_capacity,
+    )
+    bs = BaseStation(BaseStationConfig(phy=LTE_CELL_10MHZ), clock)
+    agent = attach_agent(bs, transport, e2ap_codec="fb", sm_codec="fb")
+    agent.connect("virt")
+    virt.connect_tenant("A", "tenant-A")
+    virt.connect_tenant("B", "tenant-B")
+    return clock, transport, bs, virt, tenant_servers, tenant_iapps
+
+
+class TestControllerFairness:
+    """NVS shares extended to controller capacity (DESIGN.md §13.4)."""
+
+    def setup_method(self):
+        from repro.metrics.counters import reset_all
+
+        reset_all()
+
+    def test_limiters_disabled_by_default(self):
+        _c, _t, _bs, virt, _servers, _iapps = build_shared_setup()
+        assert virt.ind_limiter is None and virt.ctrl_limiter is None
+        tenant = virt.tenant("A")
+        # Unlimited: a tight burst far beyond any plausible share passes.
+        assert all(virt.acquire_indication(tenant) for _ in range(1000))
+
+    def test_share_scales_tenant_rate(self):
+        from repro.core.overload import FairShareLimiter
+
+        limiter = FairShareLimiter(100.0, {"A": 0.7, "B": 0.3})
+        assert limiter._buckets["A"].rate == pytest.approx(70.0)
+        assert limiter._buckets["B"].rate == pytest.approx(30.0)
+
+    def test_greedy_tenant_indications_capped_others_unaffected(self):
+        from repro.metrics.counters import counter_values
+
+        # share 0.5 of 40/s => rate 20/s, burst 5 (0.25 s window): a
+        # tight loop exhausts A's burst before any meaningful refill.
+        _c, _t, _bs, virt, _servers, _iapps = build_limited_setup(
+            ind_capacity=40.0
+        )
+        a, b = virt.tenant("A"), virt.tenant("B")
+        granted = sum(1 for _ in range(50) if virt.acquire_indication(a))
+        assert 5 <= granted <= 10  # burst + a sliver of refill
+        assert counter_values().get("overload.tenant.A.ind_drops", 0) >= 40
+        # B's bucket is untouched by A's greed.
+        assert virt.acquire_indication(b)
+        assert counter_values().get("overload.tenant.B.ind_drops", 0) == 0
+
+    def test_control_budget_refused_through_sm(self):
+        from repro.metrics.counters import counter_values
+
+        # share 0.5 of 8/s => rate 4/s, burst 1: the second back-to-back
+        # control from the same tenant is refused with ADMISSION_REFUSED
+        # through the normal xApp failure path.
+        _c, _t, bs, virt, servers, iapps = build_limited_setup(
+            ctrl_capacity=8.0
+        )
+        iapp = iapps["A"]
+        conn = servers["A"].agents()[0].conn_id
+        iapp.add_slice(conn, SliceConfig(slice_id=1, cap=0.4))
+        iapp.add_slice(conn, SliceConfig(slice_id=2, cap=0.4))
+        assert iapp.control_outcomes == [True, False]
+        assert counter_values().get("overload.tenant.A.ctrl_rejects", 0) == 1
+        # Only the admitted slice reached the radio.
+        snapshot = bs.mac.slice_snapshot()
+        ids = {e["slice_id"] for e in snapshot["slices"]}
+        assert 11 in ids and 12 not in ids
+        # B spends from its own bucket, unaffected by A's refusal.
+        iapp_b = iapps["B"]
+        conn_b = servers["B"].agents()[0].conn_id
+        iapp_b.add_slice(conn_b, SliceConfig(slice_id=1, cap=0.4))
+        assert iapp_b.control_outcomes == [True]
+
+    def test_tenant_rate_state_snapshot(self):
+        _c, _t, _bs, virt, _servers, _iapps = build_limited_setup(
+            ind_capacity=100.0, ctrl_capacity=10.0
+        )
+        state = virt.tenant_rate_state()
+        for key, capacity in (("indications", 100.0), ("controls", 10.0)):
+            per_tenant = state[key]
+            assert set(per_tenant) == {"A", "B"}
+            for name in ("A", "B"):
+                entry = per_tenant[name]
+                assert entry["share"] == pytest.approx(0.5)
+                assert entry["rate_per_s"] == pytest.approx(0.5 * capacity)
+                assert entry["tokens"] >= 0
