@@ -47,14 +47,29 @@ class LintConfig:
     #: blocking calls inside them must be bounded by a timeout (RL004).
     #: ``_worker_run`` is the bounded overload worker pool's loop — the
     #: queue/admission paths of DESIGN.md §13 live under the same
-    #: bounded-blocking rule as the transport shard loops.
+    #: bounded-blocking rule as the transport shard loops.  The §14
+    #: multiprocess tier adds three more long-lived loops: the worker
+    #: command loop (``_worker_loop``), the parent supervision loop
+    #: (``_supervise``) and the no-reuseport accept loop
+    #: (``_accept_loop``) — an unbounded block in any of them would
+    #: wedge crash detection or shutdown.
     loop_functions: FrozenSet[str] = frozenset(
-        {"_run", "_poll", "_shard_run", "_worker_run"}
+        {
+            "_run",
+            "_poll",
+            "_shard_run",
+            "_worker_run",
+            "_worker_loop",
+            "_supervise",
+            "_accept_loop",
+        }
     )
 
     #: blocking call names RL004 audits inside loop functions.
+    #: ``poll`` covers multiprocessing.Connection.poll — the §14 pipe
+    #: protocol's equivalent of select().
     blocking_calls: FrozenSet[str] = frozenset(
-        {"select", "wait", "get", "join", "acquire", "recv"}
+        {"select", "wait", "get", "join", "acquire", "recv", "poll"}
     )
 
     #: files that MUST contain a generated region (RL006): hand-rolled

@@ -45,7 +45,7 @@ from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.codec.base import CodecError
 from repro.core.e2ap.procedures import ProcedureCode
-from repro.metrics.counters import get_counter, get_gauge
+from repro.metrics.counters import discard_gauge, get_counter, get_gauge
 
 _IND_CODE = int(ProcedureCode.RIC_INDICATION)
 
@@ -256,6 +256,17 @@ class QueuePressure:
     def bounded(self) -> bool:
         return self.config is not None
 
+    def discard_gauges(self) -> None:
+        """Drop this queue's depth/hwm/degraded gauges from the registry.
+
+        Called when the owning loop stops for good: the gauges describe
+        a queue that no longer exists, and keeping them exports ghost
+        depth/hwm readings to ``/metrics`` after every transport cycle
+        (the conn-scoped instrument leak of the §14 bugfix sweep).
+        """
+        for suffix in ("depth", "hwm", "degraded"):
+            discard_gauge(f"queue.{self.scope}.{suffix}")
+
     @property
     def frame_depth(self) -> int:
         """Frames outstanding, as tracked by :meth:`add_frames`."""
@@ -407,13 +418,31 @@ class BoundedWorkerPool:
             except Exception:  # repro-lint: disable=RL002 — worker survives iApp errors
                 get_counter("server.pool.errors").incr()
 
-    def shutdown(self, wait: bool = True) -> None:
+    def shutdown(self, wait: bool = True, timeout_s: float = 5.0) -> None:
+        """Drain and join the workers; loud on a stuck worker.
+
+        A worker that fails to join within ``timeout_s`` (an iApp
+        callback blocked forever) is counted in ``transport.stop.stuck``
+        and raised as :class:`RuntimeError` — the daemon flag must not
+        silently paper over a wedged dispatch thread.
+        """
         with self._cond:
             self._running = False
             self._cond.notify_all()
-        if wait:
-            for thread in self._threads:
-                thread.join(timeout=5.0)
+        if not wait:
+            return
+        stuck: List[str] = []
+        for thread in self._threads:
+            thread.join(timeout=timeout_s)
+            if thread.is_alive():
+                get_counter("transport.stop.stuck").incr()
+                stuck.append(thread.name)
+        self.pressure.discard_gauges()
+        if stuck:
+            raise RuntimeError(
+                f"worker pool shutdown: thread(s) stuck after "
+                f"{timeout_s}s: {', '.join(stuck)}"
+            )
 
     def __len__(self) -> int:
         return len(self._queue)

@@ -113,6 +113,13 @@ class ServerConfig:
     #: queues, setup/subscription admission control, degrade states.
     #: None (default) keeps the unbounded legacy behaviour exactly.
     overload: Optional[OverloadConfig] = None
+    #: multiprocess ingest (DESIGN.md §14): N > 0 runs N worker
+    #: *processes*, each owning a full server + SO_REUSEPORT listener,
+    #: supervised by :class:`repro.core.server.workers.MultiProcServer`.
+    #: 0 (default) keeps everything in this process.  A ``Server``
+    #: built directly ignores the field — it configures the supervisor,
+    #: which forks workers with ``workers=0`` copies of this config.
+    workers: int = 0
 
 
 #: hoisted: the indication hot loop compares against this constant.
@@ -323,17 +330,23 @@ class Server:
 
     # -- lifecycle -----------------------------------------------------
 
+    def transport_events(self) -> TransportEvents:
+        """This server's ingest callbacks, bundled for a transport.
+
+        Public so adopted connections (the accept-and-hand-off fallback
+        of DESIGN.md §14, where sockets arrive via fd passing rather
+        than a local listener) wire into the same dispatch pipeline.
+        """
+        return TransportEvents(
+            on_connected=self._on_connected,
+            on_message=self._on_message,
+            on_disconnected=self._on_disconnected,
+            on_messages=self._on_messages,
+        )
+
     def listen(self, transport: Transport, address: str) -> Listener:
         """Accept agent connections on ``address``."""
-        listener = transport.listen(
-            address,
-            TransportEvents(
-                on_connected=self._on_connected,
-                on_message=self._on_message,
-                on_disconnected=self._on_disconnected,
-                on_messages=self._on_messages,
-            ),
-        )
+        listener = transport.listen(address, self.transport_events())
         self._listeners.append(listener)
         return listener
 
@@ -637,6 +650,13 @@ class Server:
         will never arrive; an exact recount (rare-path O(n)) keeps the
         admission controller's concurrent cap from leaking slots.
         """
+        # Re-publish the dispatch pool's depth from ground truth: a
+        # dropped connection's queued indications are skipped (not
+        # dispatched), so the gauge written at submit time can read
+        # stale-high until the next submit — a drop_conn storm would
+        # otherwise hold the degraded state on with an empty queue.
+        if isinstance(self._pool, BoundedWorkerPool):
+            self._pool.pressure.note_depth(len(self._pool))
         if self.admission is None:
             return
         pending = sum(

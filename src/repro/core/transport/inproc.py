@@ -24,12 +24,14 @@ expose the same knob with the same "1 == today's behaviour" contract.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.overload import OverloadConfig, QueuePressure, TrafficClass
+from repro.metrics.counters import discard_counter, get_counter
 from repro.core.transport.base import (
     DisconnectReason,
     Endpoint,
@@ -130,6 +132,7 @@ class _InProcEndpoint(Endpoint):
         if self._closed:
             return
         self._closed = True
+        discard_counter(f"overload.conn.{self.conn_label}.drops")
         other = self._other
         if other is not None and not other._closed:
             # The peer observes an orderly EOF, exactly like TCP.
@@ -144,6 +147,9 @@ class _InProcEndpoint(Endpoint):
     def _signal_disconnect(self, reason: Optional[DisconnectReason] = None) -> None:
         if not self._closed:
             self._closed = True
+            # Conn-scoped drop accounting dies with the link (mirrors
+            # the TCP close path): per-class aggregates keep the total.
+            discard_counter(f"overload.conn.{self.conn_label}.drops")
             self._events.on_disconnected(
                 self, reason or DisconnectReason(DisconnectReason.EOF)
             )
@@ -450,8 +456,16 @@ class InProcTransport(Transport):
                     shard.cond.wait(timeout=min(remaining, 0.05))
         return True
 
-    def stop(self) -> None:
-        """Stop shard workers (idempotent; no-op in synchronous mode)."""
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Stop shard workers (idempotent; no-op in synchronous mode).
+
+        Loud teardown: a worker that fails to join within ``timeout_s``
+        is counted (``transport.stop.stuck``) and raised; frames left
+        in a stopped shard's queue are counted in
+        ``transport.stop.undrained`` and raise under ``REPRO_ANALYSIS=1``
+        (the flaky-teardown source this sweep fixes — previously both
+        conditions hid behind the daemon flag until interpreter exit).
+        """
         if self._stopped or not self._sharded:
             self._stopped = True
             return
@@ -460,8 +474,36 @@ class InProcTransport(Transport):
             with shard.cond:
                 shard.running = False
                 shard.cond.notify_all()
+        stuck: List[str] = []
+        undrained = 0
         for shard in self._shards:
-            shard.thread.join(timeout=5.0)
+            shard.thread.join(timeout=timeout_s)
+            if shard.thread.is_alive():
+                get_counter("transport.stop.stuck").incr()
+                stuck.append(shard.thread.name)
+                continue
+            # Worker exited: its queue is stable, so any frames still
+            # in it were posted after the drain-on-exit and are lost.
+            while True:
+                try:
+                    target, payload = shard.queue.popleft()
+                except IndexError:
+                    break
+                if target is not None:
+                    undrained += len(payload)
+            shard.pressure.discard_gauges()
+        if undrained:
+            get_counter("transport.stop.undrained").incr(undrained)
+        if stuck:
+            raise RuntimeError(
+                f"inproc transport stop: shard thread(s) stuck after "
+                f"{timeout_s}s: {', '.join(stuck)}"
+            )
+        if undrained and os.environ.get("REPRO_ANALYSIS") == "1":
+            raise RuntimeError(
+                f"inproc transport stop: {undrained} ingest frame(s) left "
+                f"undrained at teardown"
+            )
 
     def start(self) -> None:
         """Shard workers start at construction; kept for API symmetry."""

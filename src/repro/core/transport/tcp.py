@@ -43,8 +43,19 @@ from repro.core.transport.base import (
     TransportEvents,
 )
 from repro.core.transport.framing import Framer, FramingError, frame_message, frame_messages
-from repro.metrics.counters import get_counter
+from repro.metrics.counters import discard_counter, get_counter
 from repro.metrics.trace import TRACER as _TRACER
+
+#: Kernel support for SO_REUSEPORT connection spreading.  Module-level
+#: (not inlined into the constructor) so tests and the multiprocess
+#: supervisor can probe — and monkeypatch — the same fact the
+#: transport acts on.
+_HAS_REUSEPORT = hasattr(socket, "SO_REUSEPORT")
+
+
+def reuseport_available() -> bool:
+    """Can this kernel spread accepts across SO_REUSEPORT listeners?"""
+    return _HAS_REUSEPORT
 
 
 def _classify_oserror(exc: OSError) -> DisconnectReason:
@@ -267,7 +278,13 @@ class TcpTransport(Transport):
         #: keeps the historic one-recv/one-callback behaviour exactly.
         self._batched = shards > 1
         self.connect_timeout_s = connect_timeout_s
-        self._reuseport = reuseport and hasattr(socket, "SO_REUSEPORT")
+        self._reuseport = reuseport and reuseport_available()
+        if reuseport and not self._reuseport:
+            # Loud degradation (satellite of DESIGN.md §14): without
+            # SO_REUSEPORT a shards>1 request quietly collapses to one
+            # accept socket spreading to shards in userspace — callers
+            # watching this counter know the kernel is not helping.
+            get_counter("tcp.reuseport.unavailable").incr()
         self._rr = itertools.count()
         self._listeners: List[_TcpListener] = []
         self._running = False
@@ -281,7 +298,10 @@ class TcpTransport(Transport):
 
     def listen(self, address: str, events: TransportEvents) -> _TcpListener:
         host, port = _parse_address(address)
-        if self._reuseport and len(self._shards) > 1:
+        if self._reuseport:
+            # Reuseport bind even with one shard: a single-shard worker
+            # process must still share its port with sibling workers
+            # (the multiprocess ingest mode of DESIGN.md §14).
             socks = self._listen_reuseport(host, port)
         else:
             socks = [self._bind(host, port, reuseport=False)]
@@ -350,6 +370,33 @@ class TcpTransport(Transport):
         events.on_connected(endpoint)
         return endpoint
 
+    def adopt(self, sock: socket.socket, events: TransportEvents) -> _TcpEndpoint:
+        """Take ownership of an already-connected socket.
+
+        The accept-and-hand-off fallback path: when ``SO_REUSEPORT`` is
+        unavailable the multiprocess supervisor accepts centrally and
+        passes raw fds to worker processes, which adopt them here as if
+        they had arrived through a local listener.
+        """
+        sock.setblocking(False)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP fd in tests
+            pass
+        shard = self._pick_shard()
+        endpoint = _TcpEndpoint(self, sock, events, shard.index)
+        # Announce the endpoint BEFORE the shard can read from it: the
+        # peer has typically already sent its first frame (E2 setup) by
+        # the time the fd arrives here, so registering with the selector
+        # first would race delivery against on_connected and the server
+        # would drop frames from an endpoint it has never seen.
+        events.on_connected(endpoint)
+        with shard.lock:
+            shard.endpoints[sock] = endpoint
+            shard.selector.register(sock, selectors.EVENT_READ, ("conn", endpoint))
+        shard.wake()
+        return endpoint
+
     def start(self) -> None:
         """Run every shard loop on a daemon thread until :meth:`stop`."""
         if self._running:
@@ -365,17 +412,29 @@ class TcpTransport(Transport):
             )
             shard.thread.start()
 
-    def stop(self) -> None:
-        """Stop every loop thread and close every socket (idempotent)."""
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Stop every loop thread and close every socket (idempotent).
+
+        Teardown is *loud*: a shard thread that fails to join within
+        ``timeout_s`` is counted in ``transport.stop.stuck`` and
+        reported with :class:`RuntimeError` after the remaining
+        resources are released — stuck shards previously hid behind
+        daemon threads until interpreter exit and surfaced only as
+        flaky teardown under ``REPRO_ANALYSIS=1``.
+        """
         if self._stopped:
             return
         self._stopped = True
         self._running = False
         for shard in self._shards:
             shard.wake()
+        stuck: List[str] = []
         for shard in self._shards:
             if shard.thread is not None:
-                shard.thread.join(timeout=5.0)
+                shard.thread.join(timeout=timeout_s)
+                if shard.thread.is_alive():
+                    get_counter("transport.stop.stuck").incr()
+                    stuck.append(shard.thread.name)
                 shard.thread = None
         for listener in list(self._listeners):
             self._close_listener(listener)
@@ -383,12 +442,21 @@ class TcpTransport(Transport):
             with shard.lock:
                 for sock, endpoint in list(shard.endpoints.items()):
                     endpoint._closed = True
+                    discard_counter(f"overload.conn.{endpoint._peer}.drops")
                     self._unregister(shard, sock)
                     sock.close()
                 shard.endpoints.clear()
+            # Conn-scoped pressure gauges die with the loop that owned
+            # them — a later transport on the same scope starts clean.
+            shard.pressure.discard_gauges()
             # The self-pipe: left open across stop() it leaks two fds
             # per create/stop cycle (chaos suites cycle transports).
             shard.close()
+        if stuck:
+            raise RuntimeError(
+                f"tcp transport stop: shard thread(s) stuck after "
+                f"{timeout_s}s: {', '.join(stuck)}"
+            )
 
     def step(self, timeout: float = 0.0) -> int:
         """Process pending I/O inline; returns the number of events.
@@ -564,6 +632,11 @@ class TcpTransport(Transport):
             if messages:
                 shard.rx_messages += len(messages)
                 endpoint._events.deliver(endpoint, messages)
+            if pressure.bounded:
+                # The batch was fully delivered: put the depth gauge
+                # back to zero or it reads "len(last batch)" forever
+                # (the stale-depth leak of the §14 bugfix sweep).
+                pressure.note_depth(0)
         if terminal is not None:
             get_counter(terminal_counter).incr()
             self._close_endpoint(endpoint, notify_local=True, reason=terminal)
@@ -582,6 +655,10 @@ class TcpTransport(Transport):
         with shard.lock:
             shard.endpoints.pop(sock, None)
             self._unregister(shard, sock)
+        # Unregister conn-scoped instruments with the link (PR 3's
+        # dead-link gauge discipline): per-connection drop counters for
+        # a dead peer otherwise accumulate forever under churn.
+        discard_counter(f"overload.conn.{endpoint._peer}.drops")
         try:
             sock.close()
         except OSError:

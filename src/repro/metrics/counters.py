@@ -240,6 +240,19 @@ def discard_gauge(name: str) -> None:
     _GAUGES.pop(name, None)
 
 
+def discard_counter(name: str) -> None:
+    """Drop a counter from the registry entirely.
+
+    Connection-scoped counters (e.g. per-connection overload drops) are
+    discarded when the link dies; without this, a server seeing heavy
+    connection churn grows its registry without bound and ``/metrics``
+    exports ghost entries for peers that no longer exist.  Class-level
+    aggregates (``overload.drop.<cls>``) survive, so no drop is ever
+    lost from the totals.
+    """
+    _COUNTERS.pop(name, None)
+
+
 def reset_gauges(prefix: str = "") -> None:
     """Zero all gauges whose name starts with ``prefix``."""
     for name, gauge in _GAUGES.items():

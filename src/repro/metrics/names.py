@@ -63,6 +63,20 @@ COUNTERS = frozenset(
         "tcp.connect.timeout",
         "tcp.close.eof",
         "tcp.close.framing",
+        # SO_REUSEPORT degradation + loud-teardown accounting
+        "tcp.reuseport.unavailable",
+        "transport.stop.stuck",
+        "transport.stop.undrained",
+        # multiprocess ingest supervisor (DESIGN.md §14)
+        "server.reuseport.fallback",
+        "server.worker.spawned",
+        "server.worker.restarts",
+        "server.worker.giveup",
+        "server.worker.handoff",
+        "server.policy.indications",
+        # asyncio client tier
+        "aio.subscription.shed",
+        "aio.loop_closed",
         # fault injection
         "faulty.drop",
         "faulty.corrupt",
@@ -89,10 +103,12 @@ COUNTER_PATTERNS: Tuple[str, ...] = (
 )
 
 #: exact gauge names.
-GAUGES = frozenset(set())
+GAUGES = frozenset({"server.workers"})
 
 #: gauge name patterns.
 GAUGE_PATTERNS: Tuple[str, ...] = (
+    # multiprocess worker liveness (worker index)
+    "server.worker.{index}.alive",
     # inproc shard queue depth (shard index)
     "inproc.shard.{index}.depth",
     # per-link lifecycle state (node label, origin id)

@@ -627,10 +627,13 @@ class TestTransportGauges:
             if server.agents():
                 break
             time.sleep(0.01)
-        transport.stop()
+        # Snapshot while the loops are alive: stop() now discards the
+        # queue-scoped gauges with the loops that owned them.
         gauges = gauge_values()
         assert "queue.inproc.shard.0.depth" in gauges
         assert gauges["queue.inproc.shard.0.hwm"] >= 1
+        transport.stop()
+        assert "queue.inproc.shard.0.depth" not in gauge_values()
 
 
 # -- keepalive under flood (satellite 2) -----------------------------

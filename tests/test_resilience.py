@@ -581,3 +581,156 @@ class TestAnalysisUnderChaos:
         finally:
             transport.stop()
             server.close()
+
+
+# -- multiprocess worker chaos (DESIGN.md §14) -----------------------
+
+
+class TestWorkerChaos:
+    """Seeded kill/respawn chaos against the multiprocess ingest tier.
+
+    Indications are best-effort under the overload discipline, but the
+    control class must never shed: across worker crashes, respawns and
+    policy republication the merged ``overload.drop.control*`` counters
+    stay at zero, and the tier keeps serving new agents afterwards.
+    """
+
+    @pytest.mark.parametrize("seed", [CHAOS_SEED, CHAOS_SEED + 7])
+    def test_worker_kill_respawn_zero_control_drops(self, seed):
+        import random
+        import threading
+        import time
+
+        from repro.core.codec import get_codec
+        from repro.core.e2ap.ies import RanFunctionItem, RicActionAdmitted
+        from repro.core.e2ap.messages import (
+            E2SetupRequest,
+            E2SetupResponse,
+            RicIndication,
+            RicSubscriptionRequest,
+            RicSubscriptionResponse,
+            decode_message,
+            encode_message,
+        )
+        from repro.core.server.workers import MultiProcServer, SubscriptionPolicy
+        from repro.core.transport.tcp import TcpTransport
+
+        rng = random.Random(seed)
+        codec = get_codec("fb")
+
+        class ChaosAgent:
+            def __init__(self, transport, address, nb_id):
+                self.ready = threading.Event()
+                self.subscribed = threading.Event()
+                self.sub_request = None
+                self.endpoint = transport.connect(
+                    address, TransportEvents(on_message=self._on_message)
+                )
+                self.endpoint.send(
+                    encode_message(
+                        E2SetupRequest(
+                            node_id=make_node(nb_id),
+                            ran_functions=[
+                                RanFunctionItem(
+                                    ran_function_id=1, definition=b"c", oid="c"
+                                )
+                            ],
+                        ),
+                        codec,
+                    )
+                )
+
+            def _on_message(self, endpoint, data):
+                message = decode_message(data, codec)
+                if isinstance(message, E2SetupResponse):
+                    self.ready.set()
+                elif isinstance(message, RicSubscriptionRequest):
+                    self.sub_request = message.request
+                    endpoint.send(
+                        encode_message(
+                            RicSubscriptionResponse(
+                                request=message.request,
+                                ran_function_id=message.ran_function_id,
+                                admitted=[
+                                    RicActionAdmitted(action.action_id)
+                                    for action in message.actions
+                                ],
+                            ),
+                            codec,
+                        )
+                    )
+                    self.subscribed.set()
+
+        mp = MultiProcServer(ServerConfig(shards=1, workers=2), port=0)
+        client = TcpTransport(shards=1)
+        try:
+            mp.start()
+            client.start()
+            mp.subscribe_all(
+                SubscriptionPolicy(
+                    ran_function_id=1,
+                    event_trigger=b"t",
+                    actions=(RicActionDefinition(1, RicActionKind.REPORT),),
+                )
+            )
+            agents = [ChaosAgent(client, mp.address, i + 1) for i in range(3)]
+            for agent in agents:
+                assert agent.ready.wait(10.0)
+                assert agent.subscribed.wait(10.0)
+
+            # Blast while the chaos schedule kills a seeded choice of
+            # worker; a severed link only loses best-effort indications.
+            def blast(agent):
+                frame = encode_message(
+                    RicIndication(
+                        request=agent.sub_request,
+                        ran_function_id=1,
+                        action_id=1,
+                        sequence=0,
+                        header=b"",
+                        payload=b"x" * 24,
+                    ),
+                    codec,
+                )
+                for _ in range(300):
+                    try:
+                        agent.endpoint.send(frame)
+                    except (ConnectionError, OSError):
+                        return  # our worker died mid-blast: expected
+
+            threads = [
+                threading.Thread(target=blast, args=(agent,)) for agent in agents
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.05 + rng.random() * 0.1)
+            mp.kill_worker(rng.randrange(2))
+            for thread in threads:
+                thread.join(timeout=10.0)
+
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                if mp.restarts >= 1 and all(
+                    handle.ready.is_set() and handle.process.is_alive()
+                    for handle in mp._handles.values()
+                ):
+                    break
+                time.sleep(0.05)
+            assert mp.restarts >= 1, "supervisor never respawned the worker"
+
+            # Post-chaos: a fresh agent still connects and the
+            # republished policy still subscribes it.
+            late = ChaosAgent(client, mp.address, nb_id=99)
+            assert late.ready.wait(10.0)
+            assert late.subscribed.wait(10.0)
+
+            merged = mp.merged_counters()
+            control_drops = {
+                name: value
+                for name, value in merged.items()
+                if name.startswith("overload.drop.control") and value
+            }
+            assert not control_drops, f"control-class loss: {control_drops}"
+        finally:
+            client.stop()
+            mp.stop()

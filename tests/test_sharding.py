@@ -15,9 +15,28 @@ import time
 import pytest
 
 from repro.core.agent import Agent, AgentConfig
-from repro.core.e2ap.ies import GlobalE2NodeId, NodeKind, RicActionDefinition, RicActionKind
+from repro.core.codec import get_codec
+from repro.core.e2ap.ies import (
+    GlobalE2NodeId,
+    NodeKind,
+    RanFunctionItem,
+    RicActionAdmitted,
+    RicActionDefinition,
+    RicActionKind,
+)
+from repro.core.e2ap.messages import (
+    E2SetupRequest,
+    E2SetupResponse,
+    RicIndication,
+    RicSubscriptionRequest,
+    RicSubscriptionResponse,
+    decode_message,
+    encode_message,
+)
 from repro.core.server import Server, ServerConfig, SubscriptionCallbacks
 from repro.core.server.submgr import SubscriptionManager
+from repro.core.server.workers import MultiProcServer, SubscriptionPolicy
+from repro.core.transport import tcp as tcp_mod
 from repro.core.transport import (
     ConnectTimeout,
     FaultSpec,
@@ -26,7 +45,12 @@ from repro.core.transport import (
     TcpTransport,
     TransportEvents,
 )
-from repro.metrics.counters import counter_values, get_counter
+from repro.metrics.counters import (
+    counter_values,
+    gauge_values,
+    get_counter,
+    reset_all,
+)
 from repro.sm.hw import HwRanFunction, INFO as HW
 from repro.sm.mac_stats import MacStatsFunction, synthetic_provider, INFO as MAC
 from repro.sm.base import PeriodicTrigger
@@ -425,3 +449,253 @@ class TestAnalysisIntegration:
             assert isinstance(server.submgr._lock, TrackedRLock)
         finally:
             server.close()
+
+
+# -- multiprocess ingest tier (DESIGN.md §14) ------------------------
+
+
+WORKER_FN = 1
+
+
+class TcpMiniAgent:
+    """Raw-wire E2 node for multiprocess tests.
+
+    Answers the setup handshake and admits policy-driven subscription
+    requests, recording the RIC request id so the test can blast
+    pre-encoded indications at whichever worker owns the connection.
+    """
+
+    def __init__(self, transport, address: str, nb_id: int) -> None:
+        self.codec = get_codec("fb")
+        self.ready = threading.Event()
+        self.subscribed = threading.Event()
+        self.sub_request = None
+        self.endpoint = transport.connect(
+            address, TransportEvents(on_message=self._on_message)
+        )
+        setup = E2SetupRequest(
+            node_id=make_node(nb_id),
+            ran_functions=[
+                RanFunctionItem(
+                    ran_function_id=WORKER_FN, definition=b"mp", oid="mp"
+                )
+            ],
+        )
+        self.endpoint.send(encode_message(setup, self.codec))
+
+    def _on_message(self, endpoint, data: bytes) -> None:
+        message = decode_message(data, self.codec)
+        if isinstance(message, E2SetupResponse):
+            self.ready.set()
+        elif isinstance(message, RicSubscriptionRequest):
+            self.sub_request = message.request
+            endpoint.send(
+                encode_message(
+                    RicSubscriptionResponse(
+                        request=message.request,
+                        ran_function_id=message.ran_function_id,
+                        admitted=[
+                            RicActionAdmitted(action.action_id)
+                            for action in message.actions
+                        ],
+                    ),
+                    self.codec,
+                )
+            )
+            self.subscribed.set()
+
+    def blast(self, count: int, payload: bytes = b"p" * 32) -> None:
+        frames = [
+            encode_message(
+                RicIndication(
+                    request=self.sub_request,
+                    ran_function_id=WORKER_FN,
+                    action_id=1,
+                    sequence=sequence,
+                    header=b"",
+                    payload=payload,
+                ),
+                self.codec,
+            )
+            for sequence in range(count)
+        ]
+        self.endpoint.send_many(frames)
+
+
+def _worker_policy() -> SubscriptionPolicy:
+    return SubscriptionPolicy(
+        ran_function_id=WORKER_FN,
+        event_trigger=b"t",
+        actions=(RicActionDefinition(1, RicActionKind.REPORT),),
+    )
+
+
+def _settled_agents(client, address, count):
+    agents = [
+        TcpMiniAgent(client, address, nb_id=index + 1) for index in range(count)
+    ]
+    for agent in agents:
+        assert agent.ready.wait(10.0), "E2 setup timed out"
+        assert agent.subscribed.wait(10.0), "policy subscription timed out"
+    return agents
+
+
+class TestMultiProcServer:
+    def test_workers_ingest_merge_stats_and_stop(self):
+        reset_all()
+        mp = MultiProcServer(ServerConfig(shards=1, workers=2), port=0)
+        client = TcpTransport(shards=1)
+        try:
+            mp.start()
+            client.start()
+            mp.subscribe_all(_worker_policy())
+            agents = _settled_agents(client, mp.address, 4)
+            assert mp.agents_total() == 4
+            for agent in agents:
+                agent.blast(100)
+            assert _wait(lambda: mp.total_indications() >= 400, timeout=15.0)
+
+            merged = mp.merged_counters(refresh=False)
+            assert merged.get("server.policy.indications", 0) >= 400
+            state = mp.overload_state(refresh=False)
+            assert state["workers"] == 2
+            snapshot = mp.metrics_snapshot(refresh=False)
+            assert snapshot["counters"]["server.policy.indications"] >= 400
+            # Parent-side registry: spawn accounting and alive gauges.
+            assert counter_values().get("server.worker.spawned") == 2
+            assert gauge_values().get("server.workers") == 2
+        finally:
+            client.stop()
+            mp.stop()
+        # Loud lifecycle: per-worker gauges are discarded at stop and a
+        # second stop() is a no-op, not a double-teardown.
+        assert "server.workers" not in gauge_values()
+        assert "server.worker.0.alive" not in gauge_values()
+        mp.stop()
+
+    def test_worker_crash_respawn_republishes_policies(self):
+        reset_all()
+        mp = MultiProcServer(ServerConfig(shards=1, workers=2), port=0)
+        client = TcpTransport(shards=1)
+        try:
+            mp.start()
+            client.start()
+            mp.subscribe_all(_worker_policy())
+            _settled_agents(client, mp.address, 2)
+
+            mp.kill_worker(0)
+            assert _wait(lambda: mp.restarts >= 1, timeout=15.0)
+            assert _wait(
+                lambda: all(
+                    handle.ready.is_set() and handle.process.is_alive()
+                    for handle in mp._handles.values()
+                ),
+                timeout=15.0,
+            ), "respawned worker never came up"
+            assert counter_values().get("server.worker.restarts") == 1
+
+            # The respawned worker received the policy snapshot: a new
+            # agent (landing on either worker) still gets subscribed.
+            late = TcpMiniAgent(client, mp.address, nb_id=77)
+            assert late.ready.wait(10.0)
+            assert late.subscribed.wait(
+                10.0
+            ), "policy was not republished to the respawned worker"
+            late.blast(50)
+            assert _wait(lambda: mp.total_indications() >= 50, timeout=15.0)
+
+            # Zero control-class loss across the crash/restart cycle.
+            merged = mp.merged_counters()
+            for name, value in merged.items():
+                if name.startswith("overload.drop.control"):
+                    assert value == 0, f"{name}={value}"
+        finally:
+            client.stop()
+            mp.stop()
+
+    def test_reuseport_fallback_accept_handoff(self, monkeypatch):
+        reset_all()
+        monkeypatch.setattr(tcp_mod, "_HAS_REUSEPORT", False)
+        mp = MultiProcServer(ServerConfig(shards=1, workers=2), port=0)
+        assert mp.reuseport is False
+        client = TcpTransport(shards=1)
+        try:
+            mp.start()
+            client.start()
+            # Fallback is loud: counted, never silent.
+            assert counter_values().get("server.reuseport.fallback") == 1
+            mp.subscribe_all(_worker_policy())
+            agents = _settled_agents(client, mp.address, 3)
+            assert counter_values().get("server.worker.handoff") == 3
+            for agent in agents:
+                agent.blast(40)
+            assert _wait(lambda: mp.total_indications() >= 120, timeout=15.0)
+        finally:
+            client.stop()
+            mp.stop()
+
+
+# -- loud bounded teardown (lifecycle bugfix sweep) ------------------
+
+
+class TestLoudTeardown:
+    def test_stuck_shard_thread_raises_and_counts(self):
+        reset_all()
+        transport = InProcTransport(shards=2)
+        blocker = threading.Event()
+        entered = threading.Event()
+
+        def wedge(endpoint, data):
+            entered.set()
+            blocker.wait()
+
+        try:
+            transport.listen("ric", TransportEvents(on_message=wedge))
+            conn = transport.connect("ric", TransportEvents())
+            conn.send(b"frame")
+            assert entered.wait(5.0), "handler never ran on the shard"
+            with pytest.raises(RuntimeError, match="stuck"):
+                transport.stop(timeout_s=0.2)
+            assert counter_values().get("transport.stop.stuck", 0) >= 1
+        finally:
+            blocker.set()
+            for shard in transport._shards:
+                shard.thread.join(timeout=5.0)
+
+    def test_undrained_frames_counted_and_raise_under_analysis(
+        self, monkeypatch
+    ):
+        reset_all()
+        monkeypatch.setenv("REPRO_ANALYSIS", "1")
+        transport = InProcTransport(shards=2)
+        transport.listen("ric", TransportEvents())
+        conn = transport.connect("ric", TransportEvents())
+        # Park the shard worker, then post a frame it will never drain
+        # (the previously-silent teardown leak).
+        shard = transport._shards[conn._other.shard]
+        with shard.cond:
+            shard.running = False
+            shard.cond.notify_all()
+        shard.thread.join(timeout=5.0)
+        assert not shard.thread.is_alive()
+        shard.queue.append((conn._other, [b"lost-frame"]))
+        with pytest.raises(RuntimeError, match="undrained"):
+            transport.stop()
+        assert counter_values().get("transport.stop.undrained") == 1
+
+    def test_conn_scoped_drop_counter_discarded_on_close(self):
+        reset_all()
+        transport = InProcTransport(shards=1)
+        try:
+            transport.listen("ric", TransportEvents())
+            conn = transport.connect("ric", TransportEvents())
+            name = f"overload.conn.{conn.conn_label}.drops"
+            get_counter(name).incr(3)
+            assert counter_values().get(name) == 3
+            conn.close()
+            # Link death unregisters the per-connection counter so the
+            # registry does not grow with connection churn; the class
+            # aggregate (overload.drop.*) is the durable record.
+            assert name not in counter_values()
+        finally:
+            transport.stop()
