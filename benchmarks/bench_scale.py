@@ -24,6 +24,8 @@ Usage::
         --baseline benchmarks/baseline_scale.json         # CI gate
     python benchmarks/bench_scale.py --workers 1,4 \
         --min-worker-speedup 2.5                          # multiproc gate
+    python benchmarks/bench_scale.py --fanout 1,16 \
+        --min-encode-reuse 8                              # zero-copy gate
 
 ``--workers`` sweeps the §14 multiprocess ingest tier
 (:class:`~repro.core.server.workers.MultiProcServer`): N forked
@@ -312,6 +314,145 @@ def _latency_pass(agent: LoadAgent, record, codec, samples: int) -> Dict[str, fl
     }
 
 
+def run_fanout_config(
+    fanout: int,
+    num_agents: int,
+    per_agent: int,
+    payload_bytes: int = 64,
+) -> dict:
+    """One shared-subscription measurement: N sinks per wire record.
+
+    Every agent is subscribed ``fanout`` times with identical
+    parameters; the server's single-encode fan-out (DESIGN.md §15)
+    collapses them onto one wire subscription, so each incoming
+    indication is decoded once and delivered to ``fanout`` sinks.  The
+    ``e2ap.encode.messages`` delta over the blast phase counts every
+    serialization; ``delivered / encodes`` is the reuse factor the CI
+    lane gates (~``fanout`` when the fan-out works, ~1 when every sink
+    pays its own encode).
+    """
+    from repro.metrics.counters import counter_values
+
+    codec = get_codec("fb")
+    server, transport, address = _make_stack("inproc", 1)
+    try:
+        agents = [
+            LoadAgent(transport, address, codec, nb_id=index + 1)
+            for index in range(num_agents)
+        ]
+        if not _wait(lambda: all(agent.ready.is_set() for agent in agents)):
+            raise RuntimeError("E2 setup handshakes did not complete")
+        if not _wait(lambda: len(server.agents()) == num_agents):
+            raise RuntimeError("server RANDB did not fill")
+
+        received: List[List[int]] = []
+        records = []
+        primary = []  # first record per connection (owns the wire state)
+        conn_ids = sorted(record.conn_id for record in server.agents())
+        for conn_id in conn_ids:
+            for position in range(fanout):
+                sink: List[int] = []
+                received.append(sink)
+                record = server.subscribe(
+                    conn_id=conn_id,
+                    ran_function_id=RAN_FUNCTION_ID,
+                    event_trigger=b"t",
+                    actions=[RicActionDefinition(1, RicActionKind.REPORT)],
+                    callbacks=SubscriptionCallbacks(
+                        on_indication=lambda event, sink=sink: sink.append(
+                            event.sequence
+                        )
+                    ),
+                )
+                records.append(record)
+                if position == 0:
+                    primary.append(record)
+        if not _wait(lambda: all(record.confirmed for record in records)):
+            raise RuntimeError("subscriptions did not confirm")
+
+        payload = bytes(payload_bytes)
+        encodes_before = counter_values().get("e2ap.encode.messages", 0)
+        frames_per_agent = []
+        for agent, record in zip(agents, primary):
+            frames = [
+                encode_message(
+                    RicIndication(
+                        request=record.request,
+                        ran_function_id=RAN_FUNCTION_ID,
+                        action_id=1,
+                        sequence=sequence,
+                        header=b"",
+                        payload=payload,
+                    ),
+                    codec,
+                )
+                for sequence in range(per_agent)
+            ]
+            frames_per_agent.append((agent.endpoint, frames))
+
+        expected = num_agents * per_agent * fanout
+        start = time.perf_counter()
+        for endpoint, frames in frames_per_agent:
+            send = endpoint.send
+            for frame in frames:
+                send(frame)
+        if not _wait(lambda: sum(len(sink) for sink in received) >= expected):
+            got = sum(len(sink) for sink in received)
+            raise RuntimeError(f"ingest stalled: {got}/{expected} deliveries")
+        elapsed = time.perf_counter() - start
+        encodes = counter_values().get("e2ap.encode.messages", 0) - encodes_before
+
+        # Every sink must see the full ordered stream.
+        for sink in received:
+            if sink != sorted(sink):
+                raise AssertionError("per-sink indication order violated")
+
+        return {
+            "transport": "inproc",
+            "shards": 1,
+            "fanout": fanout,
+            "agents": num_agents,
+            "indications": expected,
+            "elapsed_s": elapsed,
+            "ind_per_s": expected / elapsed,
+            "encode_calls": encodes,
+            "encode_reuse": expected / max(1, encodes),
+            "latency_us": None,
+            "shard_rx": [],
+            "shard_balance": 1.0,
+        }
+    finally:
+        server.close()
+        stop = getattr(transport, "stop", None)
+        if stop is not None:
+            stop()
+
+
+def run_fanout_sweep(
+    fanouts: List[int],
+    agent_counts: List[int],
+    per_agent: int,
+    trials: int = 1,
+) -> List[dict]:
+    results: List[dict] = []
+    for num_agents in agent_counts:
+        for fanout in fanouts:
+            best: Optional[dict] = None
+            for _ in range(max(1, trials)):
+                row = run_fanout_config(fanout, num_agents, per_agent)
+                if best is None or row["ind_per_s"] > best["ind_per_s"]:
+                    best = row
+            row = best
+            row["trials"] = max(1, trials)
+            results.append(row)
+            print(
+                f"  fanout agents={num_agents:<5} "
+                f"fanout={fanout:<3} {row['ind_per_s']:>10.0f} deliveries/s  "
+                f"encode-reuse={row['encode_reuse']:.1f}x"
+            )
+    return results
+
+
 def run_workers_config(
     workers: int,
     num_agents: int,
@@ -523,20 +664,24 @@ def check_baseline(results: List[dict], baseline_path: Path, tolerance: float) -
     baseline = json.loads(baseline_path.read_text())
     # ``workers`` (the §14 multiprocess axis) defaults to 0 so baselines
     # written before that axis existed keep gating the thread rows.
+    # ``workers`` (§14) and ``fanout`` (§15) default to 0 so baselines
+    # written before those axes existed keep gating the older rows.
     reference = {
-        (row["transport"], row["agents"], row["shards"], row.get("workers", 0)):
-            row["ind_per_s"]
+        (row["transport"], row["agents"], row["shards"], row.get("workers", 0),
+         row.get("fanout", 0)): row["ind_per_s"]
         for row in baseline["results"]
     }
     failures: List[str] = []
     for row in results:
-        key = (row["transport"], row["agents"], row["shards"], row.get("workers", 0))
+        key = (row["transport"], row["agents"], row["shards"],
+               row.get("workers", 0), row.get("fanout", 0))
         if key not in reference:
             continue
         floor = reference[key] * (1.0 - tolerance)
         if row["ind_per_s"] < floor:
             failures.append(
-                f"{key[0]} agents={key[1]} shards={key[2]} workers={key[3]}: "
+                f"{key[0]} agents={key[1]} shards={key[2]} workers={key[3]} "
+                f"fanout={key[4]}: "
                 f"{row['ind_per_s']:.0f} ind/s < {floor:.0f} ind/s "
                 f"(baseline {reference[key]:.0f}, tolerance {tolerance:.0%})"
             )
@@ -567,6 +712,13 @@ def main() -> int:
     parser.add_argument("--workers", type=_int_list, default=[],
                         help="comma-separated multiprocess worker counts; "
                              "non-empty adds the tcp multiproc sweep")
+    parser.add_argument("--fanout", type=_int_list, default=[],
+                        help="comma-separated shared-subscription fanout "
+                             "degrees; non-empty adds the single-encode "
+                             "fan-out sweep (inproc)")
+    parser.add_argument("--min-encode-reuse", type=float, default=0.0,
+                        help="fail if any fanout>1 config re-encodes more "
+                             "than delivered/this-factor (0 disables)")
     parser.add_argument("--min-worker-speedup", type=float, default=0.0,
                         help="fail if any workers=N config is below this "
                              "speedup vs workers=1 (0 disables; only "
@@ -610,6 +762,14 @@ def main() -> int:
                 f"  speedup tcp agents={row['agents']} "
                 f"workers={row['workers']}: {row['speedup']:.2f}x vs workers=1"
             )
+
+    fanout_rows: List[dict] = []
+    if args.fanout:
+        print("shared-subscription fan-out (single-encode tier)")
+        fanout_rows = run_fanout_sweep(
+            args.fanout, args.agents, per_agent, trials=args.trials
+        )
+        results = results + fanout_rows
 
     payload = {
         "mode": "smoke" if args.smoke else "full",
@@ -655,6 +815,19 @@ def main() -> int:
                 )
             if low:
                 status = 1
+    if args.min_encode_reuse > 0 and fanout_rows:
+        low = [
+            row for row in fanout_rows
+            if row["fanout"] > 1 and row["encode_reuse"] < args.min_encode_reuse
+        ]
+        for row in low:
+            print(
+                f"ENCODE REUSE BELOW TARGET: agents={row['agents']} "
+                f"fanout={row['fanout']} "
+                f"{row['encode_reuse']:.1f}x < {args.min_encode_reuse:.1f}x"
+            )
+        if low:
+            status = 1
     if args.baseline and args.baseline.exists():
         failures = check_baseline(results, args.baseline, args.tolerance)
         if failures:

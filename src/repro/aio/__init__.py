@@ -11,6 +11,9 @@ package bridges both directions:
 * :class:`AsyncE2Node` — E2-node side: an asyncio agent speaking the
   framed-TCP wire protocol to any server (including multiprocess
   workers), for async-native simulators and tests.
+* :class:`AioServer` — server side: the asyncio-native ingest loop
+  over an in-process :class:`~repro.core.server.server.Server`, so an
+  all-async deployment needs no selector threads (DESIGN.md §15).
 * :func:`aio_connect` / :class:`AioEndpoint` — the shared framed
   transport primitive.
 """
@@ -22,10 +25,12 @@ from repro.aio.agent import (
     SubscriptionRefused,
 )
 from repro.aio.node import AsyncE2Node, AsyncSubscriptionHandle
+from repro.aio.server import AioServer
 from repro.aio.transport import AioEndpoint, aio_connect
 
 __all__ = [
     "AioEndpoint",
+    "AioServer",
     "AsyncAgent",
     "AsyncE2Node",
     "AsyncSubscription",

@@ -19,6 +19,19 @@ SRC: Tuple[str, ...] = ("src/repro/",)
 #: everything (rules about universally wrong constructs).
 EVERYWHERE: Tuple[str, ...] = ("",)
 
+#: zero-copy data-plane modules (RL007): the framing/transport/codec
+#: hot path where one stray ``bytes(...)`` re-introduces a per-message
+#: O(payload) copy (DESIGN.md §15).
+HOT_PATH: Tuple[str, ...] = (
+    "src/repro/core/transport/framing.py",
+    "src/repro/core/transport/tcp.py",
+    "src/repro/core/transport/inproc.py",
+    "src/repro/core/transport/bufpool.py",
+    "src/repro/core/codec/per.py",
+    "src/repro/core/codec/flat.py",
+    "src/repro/core/codec/protobuf.py",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -34,6 +47,7 @@ class LintConfig:
             "RL004": SRC,
             "RL005": SRC,
             "RL006": EVERYWHERE,
+            "RL007": HOT_PATH,
         }
     )
 

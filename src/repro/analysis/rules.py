@@ -1,4 +1,4 @@
-"""repro-lint rule catalog (RL001–RL006).
+"""repro-lint rule catalog (RL001–RL007).
 
 Each rule is a small class with a ``code``, a one-line ``summary`` and
 a ``check(parsed, config)`` generator yielding :class:`Finding`
@@ -616,4 +616,54 @@ class GeneratedRegionRule:
                 0,
                 "file is declared generated but contains no generated-region "
                 "markers; regenerate it with the emitting tool",
+            )
+
+
+# -- RL007 ------------------------------------------------------------
+
+
+@register
+class NoHotPathBytesCopyRule:
+    """Hot-path modules must not materialize buffers with ``bytes()``.
+
+    The zero-copy data plane (DESIGN.md §15) threads memoryview and
+    bytearray values through framing, the transports and the codec
+    dispatchers without copying; one ``bytes(...)`` call on such a
+    value silently re-introduces the O(payload) copy the layer exists
+    to avoid — and keeps "working" forever, visible only as a
+    throughput regression.  Genuine materialization points (a queue
+    hand-off where the buffer outlives the caller, an unhashable view
+    needed as a cache key) carry a pragma stating why the copy is
+    owed.
+    """
+
+    code = "RL007"
+    summary = "bytes(...) materialization of a buffer in a hot-path module"
+
+    def check(self, parsed: ParsedFile, config: LintConfig) -> Iterator[Finding]:
+        if parsed.tree is None:
+            return
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Name) and func.id == "bytes"):
+                continue
+            if len(node.args) != 1 or node.keywords:
+                # bytes() / bytes(n, encoding, ...) are allocations or
+                # decodes, not buffer copies.
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant):
+                # bytes(5) allocates; bytes(b"lit") is the same object.
+                continue
+            yield Finding(
+                self.code,
+                parsed.path,
+                node.lineno,
+                node.col_offset,
+                "bytes(...) materializes a buffer-protocol value in a "
+                "hot-path module: pass the view through (framing, codecs "
+                "and transports accept buffer-protocol inputs) or "
+                "pragma-disable with the reason the copy is owed",
             )

@@ -189,4 +189,8 @@ def materialize(value: Value) -> Value:
         return {key: materialize(item) for key, item in value.items()}
     if isinstance(value, list):
         return [materialize(item) for item in value]
+    if isinstance(value, (memoryview, bytearray)):
+        # Zero-copy decode over a buffer-protocol input hands out
+        # sub-views; materialization is where they become owned bytes.
+        return bytes(value)
     return value

@@ -54,7 +54,7 @@ _INT64_MAX = 1 << 63
 
 # Single-byte tag cells, preallocated so scalar encodes never build a
 # fresh one-byte object.
-_TAGB = tuple(bytes((tag,)) for tag in range(16))
+_TAGB = tuple(bytes((tag,)) for tag in range(16))  # repro-lint: disable=RL007 — one-time tag-cell preallocation at import
 
 #: Encoded ``tag + int64`` cells for recently seen in-range ints.  E2AP
 #: traffic repeats the same small identifiers (request ids, function
@@ -158,15 +158,17 @@ class FlatCodec(Codec):
                 return out
         return self.encode_interpretive(value)
 
-    def decode(self, data: bytes) -> Any:
+    def decode(self, data) -> Any:
         """Decode via a generated kernel when one matches, else lazily.
 
         Kernel-decoded envelopes come back as plain materialized dicts
         (the kernel's fused unpacks beat lazy access for shapes whose
         fields the caller touches anyway); everything else returns the
-        interpretive lazy view.
+        interpretive lazy view.  Buffer-protocol inputs (memoryview /
+        bytearray) skip the kernels — which index raw ``bytes`` — and
+        take the lazy interpretive lane without a ``bytes()`` copy.
         """
-        if _codegen.ENABLED:
+        if _codegen.ENABLED and type(data) is bytes:
             out = _codegen.kernel_decode("fb", data)
             if out is not None:
                 return out
@@ -198,7 +200,7 @@ class FlatCodec(Codec):
         # indirection is needed to stay zero-copy.
         return _lazy_value(data, _HEADER.size)
 
-    def decode_route(self, data: bytes) -> Tuple[int, int, Any]:
+    def decode_route(self, data) -> Tuple[int, int, Any]:
         """One-pass envelope read for the server's batched ingest.
 
         Returns ``(procedure, msg_class, body)`` — the three things the
@@ -208,6 +210,12 @@ class FlatCodec(Codec):
         (cold directory, long keys, non-dict root) falls back to the
         generic :meth:`decode` walk, which also warms the cache.
         """
+        if type(data) is not bytes:
+            # Non-bytes buffers would need their cache windows
+            # materialized anyway (bytearray slices are unhashable);
+            # the generic lazy walk handles them without copying.
+            tree = self.decode(data)
+            return tree["p"], tree["c"], tree["v"]
         try:
             off = _HEADER.size
             if (
@@ -333,7 +341,7 @@ def _encode_value(value: Any, depth: int) -> bytes:
         if isinstance(value, str):
             raw = str(value).encode("utf-8")
             return _TAGB[base.TAG_STR] + _U32.pack(len(raw)) + raw
-        return _TAGB[base.TAG_BYTES] + _U32.pack(len(value)) + bytes(value)
+        return _TAGB[base.TAG_BYTES] + _U32.pack(len(value)) + bytes(value)  # repro-lint: disable=RL007 — bytes subclass normalized once for the wire
     raise CodecError(f"unsupported type: {type(value).__name__}")
 
 
@@ -341,7 +349,7 @@ def _bigint_to_bytes(value: int) -> bytes:
     sign = 1 if value < 0 else 0
     magnitude = -value if value < 0 else value
     octets = (magnitude.bit_length() + 7) // 8 or 1
-    return bytes((sign,)) + magnitude.to_bytes(octets, "little")
+    return bytes((sign,)) + magnitude.to_bytes(octets, "little")  # repro-lint: disable=RL007 — one-byte sign cell on the cold bigint path
 
 
 # -- lazy reading ----------------------------------------------------
@@ -376,7 +384,9 @@ def _lazy_value_unchecked(buf: bytes, offset: int) -> Any:
         return FlatView(buf, offset)
     if tag == base.TAG_STR:
         size = _U32.unpack_from(buf, offset + 1)[0]
-        return buf[offset + 5:offset + 5 + size].decode("utf-8")
+        # str(buf, enc) decodes any buffer-protocol slice (memoryview
+        # slices have no .decode()).
+        return str(buf[offset + 5:offset + 5 + size], "utf-8")
     if tag == base.TAG_LIST:
         return FlatListView(buf, offset)
     if tag == base.TAG_NONE:
@@ -411,6 +421,10 @@ class FlatListView:
         cacheable = count <= _LIST_CACHE_ITEMS
         if cacheable:
             block = buf[offset + 1:base_at]
+            if type(block) is not bytes:
+                # Mutable-buffer slices are unhashable; the cache key
+                # must be an immutable, bounded (≤ 260 B) copy.
+                block = bytes(block)  # repro-lint: disable=RL007
             rels = _LIST_DIR_CACHE.get(block)
             if rels is None:
                 acc = 0
@@ -488,6 +502,10 @@ class FlatView:
         # names simply never match and take the full parse below.
         if count <= _DIR_CACHE_FIELDS:
             window = buf[offset + 1:cursor + 7 * count]
+            if type(window) is not bytes:
+                # Mutable-buffer slices are unhashable; the cache key
+                # must be an immutable, bounded (≤ 131 B) copy.
+                window = bytes(window)  # repro-lint: disable=RL007
             fields = _DIR_CACHE.get(window)
             if fields is not None:
                 self._buf = buf
@@ -503,6 +521,8 @@ class FlatView:
             key_len = unpack_u16(buf, cursor)[0]
             cursor += 2
             raw = buf[cursor:cursor + key_len]
+            if type(raw) is not bytes:
+                raw = bytes(raw)  # repro-lint: disable=RL007 — intern key must be hashable
             key = intern.get(raw)
             if key is None:
                 key = raw.decode("utf-8")
@@ -538,7 +558,9 @@ class FlatView:
             return buf[offset + 5:offset + 5 + size]
         if tag == base.TAG_DICT:
             count = _U32.unpack_from(buf, offset + 1)[0]
-            if count <= _DIR_CACHE_FIELDS:
+            # Mutable-buffer slices are unhashable cache keys; those
+            # buffers take the full FlatView parse below instead.
+            if count <= _DIR_CACHE_FIELDS and type(buf) is bytes:
                 sub = _DIR_CACHE.get(buf[offset + 1:offset + 5 + 7 * count])
                 if sub is not None:
                     view = FlatView.__new__(FlatView)

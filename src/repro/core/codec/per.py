@@ -53,8 +53,11 @@ class PerCodec(Codec):
                 return out
         return self.encode_interpretive(value)
 
-    def decode(self, data: bytes) -> Any:
-        if _codegen.ENABLED:
+    def decode(self, data) -> Any:
+        # Kernels index and slice raw ``bytes``; buffer-protocol inputs
+        # (memoryview/bytearray from a zero-copy receive path) take the
+        # interpretive lane, which reads through a memoryview anyway.
+        if _codegen.ENABLED and type(data) is bytes:
             out = _codegen.kernel_decode("asn", data)
             if out is not None:
                 return out
@@ -123,7 +126,7 @@ class PerCodec(Codec):
                     raw = key.encode("utf-8")
                     if len(raw) < 0x80 and len(_KEY_CELLS) < _KEY_CELLS_MAX:
                         # One-octet determinant + octets, reusable verbatim.
-                        _KEY_CELLS[key] = bytes((len(raw),)) + raw
+                        _KEY_CELLS[key] = bytes((len(raw),)) + raw  # repro-lint: disable=RL007 — builds the cached key cell, amortized across encodes
                     writer.write_varlen(len(raw))
                     writer.write_bytes(raw)
                 else:

@@ -97,8 +97,11 @@ class ProtobufCodec(Codec):
                 return out
         return self.encode_interpretive(value)
 
-    def decode(self, data: bytes) -> Any:
-        if _codegen.ENABLED:
+    def decode(self, data) -> Any:
+        # Kernels index and slice raw ``bytes``; buffer-protocol inputs
+        # (memoryview/bytearray from a zero-copy receive path) take the
+        # interpretive lane, which is slice-type agnostic.
+        if _codegen.ENABLED and type(data) is bytes:
             out = _codegen.kernel_decode("pb", data)
             if out is not None:
                 return out
@@ -109,7 +112,7 @@ class ProtobufCodec(Codec):
         validate_tree(value)
         out = bytearray()
         self._encode_value(out, value)
-        return bytes(out)
+        return bytes(out)  # repro-lint: disable=RL007 — encoder-owned scratch; the Codec contract returns immutable bytes
 
     def decode_interpretive(self, data: bytes) -> Any:
         """The original field-walking decoder (differential-test oracle)."""
@@ -205,7 +208,9 @@ class ProtobufCodec(Codec):
                 key_len, pos = read_varint(data, pos)
                 if pos + key_len > len(data):
                     raise CodecError("truncated dict key")
-                key = data[pos:pos + key_len].decode("utf-8")
+                # str(buf, enc) decodes any buffer-protocol slice —
+                # memoryview slices have no .decode().
+                key = str(data[pos:pos + key_len], "utf-8")
                 pos += key_len
                 result[key], pos = self._decode_value(data, pos)
             return result, pos

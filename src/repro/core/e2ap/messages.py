@@ -94,6 +94,10 @@ _encode_cache_version = -1  # codec registry version the cache is valid for
 
 _cache_hits = counters.get_counter("e2ap.encode_cache.hits")
 _cache_misses = counters.get_counter("e2ap.encode_cache.misses")
+#: every E2AP message serialization request (cache hits included) —
+#: the denominator-free basis of the fan-out encode-reuse gate:
+#: delivered indications per encode call (DESIGN.md §15).
+_encode_calls = counters.get_counter("e2ap.encode.messages")
 
 #: Message types whose instances are not hashable (list fields);
 #: their cache key is built by :func:`_freeze` instead.
@@ -169,6 +173,7 @@ def encode_message(msg: E2Message, codec: Codec) -> bytes:
 
 def _encode_message(msg: E2Message, codec: Codec) -> bytes:
     global _encode_cache_version
+    _encode_calls.incr()
     if msg.encode_cacheable:
         version = base.registry_version()
         if version != _encode_cache_version:

@@ -120,6 +120,13 @@ class ServerConfig:
     #: built directly ignores the field — it configures the supervisor,
     #: which forks workers with ``workers=0`` copies of this config.
     workers: int = 0
+    #: single-encode fan-out (DESIGN.md §15): a subscribe() whose wire
+    #: parameters (connection, RAN function, event trigger, actions,
+    #: requestor) match a live subscription attaches as an extra sink
+    #: on the existing record instead of creating a second wire
+    #: subscription — the agent encodes and sends each indication once
+    #: and the server fans the decoded event out locally.
+    shared_subscriptions: bool = True
 
 
 #: hoisted: the indication hot loop compares against this constant.
@@ -412,6 +419,13 @@ class Server:
         registered and ``callbacks.on_failure`` fires synchronously
         with an ADMISSION_REFUSED cause — the same signature a remote
         :class:`RicSubscriptionFailure` would have.
+
+        With ``shared_subscriptions`` (default) a request whose wire
+        parameters match a live subscription never reaches the agent:
+        the callbacks attach as an extra sink on the existing record
+        and the shared record is returned.  Admission still gates the
+        call (a storm of duplicates is still a storm), but the pending
+        slot is released immediately — no wire confirm is outstanding.
         """
         admission = self.admission
         if admission is not None and not admission.admit_subscription():
@@ -436,6 +450,14 @@ class Server:
                     )
                 )
             return record
+        if self.config.shared_subscriptions:
+            shared = self.submgr.find_shared(
+                conn_id, ran_function_id, event_trigger, actions, requestor_id
+            )
+            if shared is not None:
+                if admission is not None:
+                    admission.release_subscription()
+                return self.submgr.attach_sink(shared, callbacks)
         record = self.submgr.create(
             conn_id=conn_id,
             ran_function_id=ran_function_id,
@@ -454,7 +476,14 @@ class Server:
         return record
 
     def unsubscribe(self, record: SubscriptionRecord) -> None:
-        """Request deletion of an existing subscription."""
+        """Request deletion of an existing subscription.
+
+        A shared record sheds its extra sinks first (most recent
+        first); the wire delete goes out only when the last sink is
+        gone, so other iApps riding the subscription keep receiving.
+        """
+        if self.submgr.detach_sink(record):
+            return
         message = RicSubscriptionDeleteRequest(
             request=record.request, ran_function_id=record.ran_function_id
         )

@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.cow import publish_snapshot
 from repro.analysis.markers import cow_mutator, cow_snapshot
+from repro.metrics.counters import get_counter
 from repro.metrics.trace import TRACER as _TRACER
 from repro.core.e2ap.ies import RicActionDefinition, RicRequestId
 from repro.core.e2ap.messages import (
@@ -75,6 +76,14 @@ class SubscriptionRecord:
     #: number of times this subscription was resynced after a node
     #: recovery (diagnostics for the chaos suite).
     resyncs: int = 0
+    #: additional iApp sinks sharing this wire subscription (single-
+    #: encode fan-out, DESIGN.md §15): the agent encodes and frames one
+    #: indication, the server hands the same decoded event to the
+    #: primary callbacks and every extra sink.
+    extra_sinks: List[SubscriptionCallbacks] = field(default_factory=list)
+    #: the confirm response, kept so a sink attaching after the wire
+    #: subscription confirmed can replay ``on_success`` immediately.
+    response: Optional["RicSubscriptionResponse"] = None
 
 
 @cow_snapshot("_route")
@@ -136,8 +145,12 @@ class SubscriptionManager:
         if record is None:
             return None
         record.confirmed = True
+        record.response = response
         if record.callbacks.on_success is not None:
             record.callbacks.on_success(response)
+        for sink in record.extra_sinks:
+            if sink.on_success is not None:
+                sink.on_success(response)
         return record
 
     def fail(self, failure: RicSubscriptionFailure) -> Optional[SubscriptionRecord]:
@@ -148,7 +161,73 @@ class SubscriptionManager:
             return None
         if record.callbacks.on_failure is not None:
             record.callbacks.on_failure(failure)
+        for sink in record.extra_sinks:
+            if sink.on_failure is not None:
+                sink.on_failure(failure)
         return record
+
+    # -- shared wire subscriptions (single-encode fan-out) -------------
+
+    def find_shared(
+        self,
+        conn_id: int,
+        ran_function_id: int,
+        event_trigger: bytes,
+        actions: Optional[List[RicActionDefinition]],
+        requestor_id: Optional[int],
+    ) -> Optional[SubscriptionRecord]:
+        """An existing live record this subscription could share.
+
+        Equality is on everything the agent sees on the wire: the
+        connection, the RAN function, the event trigger, the action
+        list, and the requestor id.  Parked records are skipped — a
+        record mid-resync is not a safe attach target.
+        """
+        trigger = bytes(event_trigger)
+        wanted_actions = list(actions or ())
+        wanted_requestor = (
+            self.requestor_id if requestor_id is None else requestor_id
+        )
+        with self._lock:
+            for record in self._records.values():
+                if (
+                    not record.parked
+                    and record.conn_id == conn_id
+                    and record.ran_function_id == ran_function_id
+                    and record.request.requestor_id == wanted_requestor
+                    and record.event_trigger == trigger
+                    and record.actions == wanted_actions
+                ):
+                    return record
+        return None
+
+    def attach_sink(
+        self, record: SubscriptionRecord, callbacks: SubscriptionCallbacks
+    ) -> SubscriptionRecord:
+        """Add an extra sink to a shared record (no wire traffic).
+
+        A sink attaching after the wire subscription confirmed gets the
+        stored response replayed, so its ``on_success`` contract holds.
+        """
+        with self._lock:
+            record.extra_sinks.append(callbacks)
+        get_counter("server.subscription.shared").incr()
+        if record.confirmed and record.response is not None and callbacks.on_success is not None:
+            callbacks.on_success(record.response)
+        return record
+
+    def detach_sink(self, record: SubscriptionRecord) -> bool:
+        """Drop the most recently attached extra sink (LIFO).
+
+        Returns True when a sink was detached — the wire subscription
+        stays up for the remaining sinks.  False means no extra sinks
+        remain and the caller owns the actual wire delete.
+        """
+        with self._lock:
+            if record.extra_sinks:
+                record.extra_sinks.pop()
+                return True
+        return False
 
     def deliver_indication(self, event) -> Optional[SubscriptionRecord]:
         """Route an indication to its iApp; returns the record or None.
@@ -171,6 +250,15 @@ class SubscriptionManager:
         record.indications_seen += 1
         if record.callbacks.on_indication is not None:
             record.callbacks.on_indication(event)
+        sinks = record.extra_sinks
+        if sinks:
+            # Fan-out without re-encode: every extra sink sees the same
+            # decoded event the wire delivered once.  Each sink served
+            # here is one encode+frame+send the agent did not perform.
+            get_counter("encode.reuse").incr(len(sinks))
+            for sink in sinks:
+                if sink.on_indication is not None:
+                    sink.on_indication(event)
         if trace_start:
             tracer.record(
                 "dispatch",
@@ -190,8 +278,12 @@ class SubscriptionManager:
         with self._lock:
             record = self._records.pop(response.request.as_tuple(), None)
             self._publish()
-        if record is not None and record.callbacks.on_deleted is not None:
-            record.callbacks.on_deleted(response)
+        if record is not None:
+            if record.callbacks.on_deleted is not None:
+                record.callbacks.on_deleted(response)
+            for sink in record.extra_sinks:
+                if sink.on_deleted is not None:
+                    sink.on_deleted(response)
         return record
 
     def records_for_conn(self, conn_id: int) -> List[SubscriptionRecord]:

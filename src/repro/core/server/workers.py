@@ -34,6 +34,7 @@ import itertools
 import multiprocessing
 import multiprocessing.connection
 import os
+import pickle
 import signal
 import socket
 import threading
@@ -44,6 +45,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.e2ap.ies import RicActionDefinition
 from repro.core.server import events as topics
 from repro.core.server.server import Server, ServerConfig
+from repro.core.server.shmsnap import SnapshotReader, SnapshotWriter
 from repro.core.server.submgr import SubscriptionCallbacks
 from repro.core.transport import tcp as tcp_mod
 from repro.core.transport.tcp import TcpTransport
@@ -174,17 +176,45 @@ class _PolicyManager:
         self._ind_counter.incr()
 
 
-def _stats_payload(server: Server, transport: TcpTransport) -> dict:
+def _stats_payload(
+    server: Server, transport: TcpTransport, scratch: Optional[dict] = None
+) -> dict:
+    """Build (or refill) one stats push payload.
+
+    ``scratch`` lets the worker's 250 ms heartbeat reuse one top-level
+    dict per process instead of allocating a fresh one per tick — the
+    pipe pickles the contents at send time, so reuse is safe.
+    """
+    payload = scratch if scratch is not None else {}
     counters = counter_values()
-    return {
-        "pid": os.getpid(),
-        "agents": len(server.agents()),
-        "subscriptions": len(server.submgr.active_records()),
-        "indications": counters.get("server.policy.indications", 0),
-        "counters": {k: v for k, v in counters.items() if v},
-        "gauges": gauge_values(),
-        "shards": transport.shard_stats(),
+    payload["pid"] = os.getpid()
+    payload["agents"] = len(server.agents())
+    payload["subscriptions"] = len(server.submgr.active_records())
+    payload["indications"] = counters.get("server.policy.indications", 0)
+    payload["counters"] = {k: v for k, v in counters.items() if v}
+    payload["gauges"] = gauge_values()
+    payload["shards"] = transport.shard_stats()
+    return payload
+
+
+def _stats_fingerprint(payload: dict) -> tuple:
+    """Change detector for unsolicited pushes.
+
+    Excludes the skip counter itself — otherwise every skip would make
+    the next tick look changed and pushes would merely alternate.
+    """
+    counters = {
+        k: v
+        for k, v in payload["counters"].items()
+        if k != "server.stats.push_skipped"
     }
+    return (
+        payload["agents"],
+        payload["subscriptions"],
+        counters,
+        payload["gauges"],
+        payload["shards"],
+    )
 
 
 def _worker_main(
@@ -195,6 +225,7 @@ def _worker_main(
     policies: List[SubscriptionPolicy],
     conn,
     use_reuseport: bool,
+    snapshot: Optional[SnapshotReader] = None,
 ) -> None:
     """Entry point of one worker process.
 
@@ -225,7 +256,7 @@ def _worker_main(
         conn.send(("ready", index, port))
     except (OSError, BrokenPipeError):
         return
-    _worker_loop(index, server, transport, manager, conn, events)
+    _worker_loop(index, server, transport, manager, conn, events, snapshot)
 
 
 def _worker_loop(
@@ -235,11 +266,17 @@ def _worker_loop(
     manager: _PolicyManager,
     conn,
     events,
+    snapshot: Optional[SnapshotReader] = None,
 ) -> None:
     """The worker's bounded-blocking control loop (RL004-audited)."""
     parent_pid = os.getppid()
     last_push = time.monotonic()
     running = True
+    #: reused across ticks (allocation satellite of DESIGN.md §15);
+    #: the pipe pickles at send time, so reuse never aliases a message.
+    scratch: dict = {}
+    last_pushed: Optional[tuple] = None
+    push_skipped = get_counter("server.stats.push_skipped")
     while running:
         if os.getppid() != parent_pid:
             break  # orphaned: the supervisor died without a stop
@@ -253,16 +290,24 @@ def _worker_loop(
             except (EOFError, OSError):
                 break
             running = _handle_command(
-                index, msg, server, transport, manager, conn, events
+                index, msg, server, transport, manager, conn, events, snapshot
             )
             continue
         now = time.monotonic()
         if now - last_push >= _STATS_PUSH_INTERVAL_S:
             last_push = now
+            payload = _stats_payload(server, transport, scratch)
+            fingerprint = _stats_fingerprint(payload)
+            if fingerprint == last_pushed:
+                # Nothing moved since the last heartbeat: the parent's
+                # merged view is already current; skip the pickle+pipe.
+                push_skipped.incr()
+                continue
             try:
-                conn.send(("stats", index, None, _stats_payload(server, transport)))
+                conn.send(("stats", index, None, payload))
             except (OSError, BrokenPipeError):
                 break
+            last_pushed = fingerprint
     try:
         server.close()
         transport.stop()
@@ -283,6 +328,7 @@ def _handle_command(
     manager: _PolicyManager,
     conn,
     events,
+    snapshot: Optional[SnapshotReader] = None,
 ) -> bool:
     """Apply one control-pipe command; returns False on ``stop``."""
     kind = msg[0]
@@ -290,6 +336,34 @@ def _handle_command(
         return False
     if kind == "policies":
         manager.set_policies(list(msg[1]))
+    elif kind == "policy_gen":
+        # Shared-memory publication: the pipe carried only the nudge;
+        # the payload is read (seqlock) out of the parent's segment.
+        applied = False
+        if snapshot is not None:
+            try:
+                got = snapshot.read()
+            except RuntimeError:
+                got = None
+            if got is not None:
+                generation, payload = got
+                try:
+                    policies = pickle.loads(payload)
+                except (pickle.UnpicklingError, EOFError, ValueError, TypeError):
+                    policies = None
+                if policies is not None:
+                    manager.set_policies(list(policies))
+                    get_counter("server.policy.shm_reads").incr()
+                    get_gauge("server.policy.generation").set(generation)
+                    applied = True
+        if not applied:
+            # Loud fallback: ask the parent for the pickled snapshot
+            # over the pipe (counted on both sides).
+            get_counter("server.policy.shm_fallback").incr()
+            try:
+                conn.send(("need_policies", index))
+            except (OSError, BrokenPipeError):
+                return False
     elif kind == "stats":
         try:
             conn.send(("stats", index, msg[1], _stats_payload(server, transport)))
@@ -404,6 +478,12 @@ class MultiProcServer:
         self._supervisor: Optional[threading.Thread] = None
         self._rr = itertools.count()
         self.reuseport = tcp_mod.reuseport_available()
+        #: shared-memory snapshot segment (DESIGN.md §15).  Fork-only:
+        #: workers inherit the parent's mapping; under other start
+        #: methods the pickled pipe path is used, loudly counted.
+        self._start_method = start_method
+        self._snap_writer: Optional[SnapshotWriter] = None
+        self._snap_reader: Optional[SnapshotReader] = None
 
     # -- lifecycle ---------------------------------------------------
 
@@ -413,6 +493,16 @@ class MultiProcServer:
             return
         _install_fork_guard()
         self._running = True
+        if self._start_method == "fork" and self._snap_writer is None:
+            try:
+                self._snap_writer = SnapshotWriter()
+                self._snap_reader = self._snap_writer.reader()
+            except (OSError, ImportError):
+                # No shared memory on this host: the pipe path still
+                # works — degrade loudly, never silently.
+                get_counter("server.policy.shm_fallback").incr()
+                self._snap_writer = None
+                self._snap_reader = None
         if self.reuseport:
             self._reserve_sock = self._reserve_port()
         else:
@@ -473,6 +563,7 @@ class MultiProcServer:
                 policies,
                 child_conn,
                 self.reuseport,
+                self._snap_reader,
             ),
             name=f"e2-worker-{index}",
             daemon=True,
@@ -531,6 +622,11 @@ class MultiProcServer:
                 pass
             discard_gauge(f"server.worker.{handle.index}.alive")
         discard_gauge("server.workers")
+        if self._snap_writer is not None:
+            self._snap_writer.close(unlink=True)
+            self._snap_writer = None
+            self._snap_reader = None
+            discard_gauge("server.policy.generation")
 
     # -- policy (routing snapshot) publication -----------------------
 
@@ -556,9 +652,28 @@ class MultiProcServer:
         self._broadcast_policies(snapshot)
 
     def _broadcast_policies(self, snapshot: List[SubscriptionPolicy]) -> None:
-        for handle in self._handles.values():
-            if handle.ready.is_set() and not handle.failed:
-                handle.send(("policies", snapshot))
+        targets = [
+            handle
+            for handle in self._handles.values()
+            if handle.ready.is_set() and not handle.failed
+        ]
+        if self._snap_writer is not None:
+            payload = pickle.dumps(snapshot)
+            try:
+                generation = self._snap_writer.publish(payload)
+            except ValueError:
+                # Oversize snapshot: this publish takes the pipe path.
+                get_counter("server.policy.shm_fallback").incr()
+            else:
+                get_counter("server.policy.shm_publish").incr()
+                get_gauge("server.policy.generation").set(generation)
+                for handle in targets:
+                    handle.send(("policy_gen", generation))
+                return
+        pickled = len(pickle.dumps(snapshot))
+        get_counter("server.policy.pickle_bytes").incr(pickled * len(targets))
+        for handle in targets:
+            handle.send(("policies", snapshot))
 
     # -- supervision -------------------------------------------------
 
@@ -606,11 +721,31 @@ class MultiProcServer:
             handle.ready.set()
             # Republication on (re)attach: the worker was forked with a
             # snapshot, but a policy published between fork and ready
-            # would be lost without this explicit sync.
+            # would be lost without this explicit sync.  With the shm
+            # segment active the sync is a generation nudge — the
+            # respawned worker reads the segment the parent still
+            # holds, so the generation survives any worker death.
+            writer = self._snap_writer
+            if writer is not None and writer.generation > 0:
+                handle.send(("policy_gen", writer.generation))
+                return
             with self._lock:
                 snapshot = list(self._policies.values())
             if snapshot:
+                get_counter("server.policy.pickle_bytes").incr(
+                    len(pickle.dumps(snapshot))
+                )
                 handle.send(("policies", snapshot))
+        elif kind == "need_policies":
+            # Worker could not serve itself from the shm segment
+            # (unreadable, torn, or unpicklable payload): answer with
+            # the pickled pipe path, loudly counted.
+            with self._lock:
+                snapshot = list(self._policies.values())
+            get_counter("server.policy.pickle_bytes").incr(
+                len(pickle.dumps(snapshot))
+            )
+            handle.send(("policies", snapshot))
         elif kind == "stats":
             _kind, _index, seq, payload = msg
             with self._stats_cond:

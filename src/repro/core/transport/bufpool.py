@@ -1,0 +1,172 @@
+"""Pooled frame assembly: reusable buffers with refcounted leases.
+
+The sync send paths used to materialize one fresh ``bytes`` object per
+frame (``len-prefix + payload``), so a fan-out of the same indication
+to N connections allocated N frames and the allocator dominated the
+profile at high rates.  :class:`BufferPool` keeps size-classed
+``bytearray`` buffers on a freelist and assembles frames into them
+through ``memoryview`` slices — no intermediate ``bytes`` — and
+:class:`FrameLease` adds a refcount so one assembled frame can be
+handed to several senders and returns to the pool only after the last
+one releases it.
+
+Safety contract: a lease's buffer is recycled at refcount zero, so a
+lease may only be passed to consumers that are *done with the bytes
+when their call returns* (``socket.sendall`` copies into the kernel
+buffer; the inproc queue must NOT hold a lease view across dispatch).
+Callers that need the data to outlive the send take ``lease.tobytes()``
+(counted — it is exactly the copy the pool exists to avoid).
+
+Instrumented: ``bufpool.lease.hit`` (buffer reused from the freelist),
+``bufpool.lease.miss`` (fresh allocation), ``bufpool.lease.oversize``
+(payload above the largest size class: served unpooled).
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from typing import Dict, List, Sequence
+
+from repro.metrics.counters import get_counter
+
+_LEN = struct.Struct(">I")
+
+#: size classes (frame capacity in bytes).  Powers of two from a tiny
+#: control frame up to 1 MiB; larger frames are served unpooled.
+_SIZE_CLASSES = (256, 1024, 4096, 16384, 65536, 262144, 1048576)
+
+#: buffers kept per size class; excess releases are dropped to the GC.
+_MAX_FREE_PER_CLASS = 32
+
+
+def _size_class(needed: int) -> int:
+    """Smallest size class holding ``needed`` bytes, or -1 if oversize."""
+    for index, cap in enumerate(_SIZE_CLASSES):
+        if needed <= cap:
+            return index
+    return -1
+
+
+class FrameLease:
+    """One assembled wire frame inside a pooled buffer.
+
+    ``view`` is a read-only :class:`memoryview` of exactly the framed
+    bytes.  ``retain()`` before handing the lease to an additional
+    consumer; every consumer (including the creator) calls
+    ``release()`` when its send has returned.  The buffer goes back to
+    the pool's freelist when the count reaches zero.
+    """
+
+    __slots__ = ("pool", "buffer", "length", "_refs", "_lock", "_class")
+
+    def __init__(self, pool: "BufferPool", buffer: bytearray, length: int, size_class: int) -> None:
+        self.pool = pool
+        self.buffer = buffer
+        self.length = length
+        self._refs = 1
+        self._lock = threading.Lock()
+        self._class = size_class
+
+    @property
+    def view(self) -> memoryview:
+        return memoryview(self.buffer)[: self.length].toreadonly()
+
+    def tobytes(self) -> bytes:
+        """Materialize an owned copy (counted: this defeats the pool)."""
+        get_counter("bytes.copied").incr()
+        return bytes(self.buffer[: self.length])  # repro-lint: disable=RL007 — explicit, counted materialization
+
+    def retain(self) -> "FrameLease":
+        with self._lock:
+            if self._refs <= 0:
+                raise RuntimeError("retain() on a released FrameLease")
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        with self._lock:
+            if self._refs <= 0:
+                raise RuntimeError("release() on an already-released FrameLease")
+            self._refs -= 1
+            live = self._refs
+        if live == 0:
+            self.pool._recycle(self)
+
+
+class BufferPool:
+    """Size-classed freelist of frame-assembly buffers (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._free: Dict[int, List[bytearray]] = {i: [] for i in range(len(_SIZE_CLASSES))}
+        self._hit = get_counter("bufpool.lease.hit")
+        self._miss = get_counter("bufpool.lease.miss")
+        self._oversize = get_counter("bufpool.lease.oversize")
+
+    def _acquire(self, needed: int) -> "tuple[bytearray, int]":
+        index = _size_class(needed)
+        if index < 0:
+            # Above the largest class: serve a one-shot buffer that is
+            # never pooled (recycle drops it), loudly counted.
+            self._oversize.incr()
+            return bytearray(needed), -1
+        with self._lock:
+            free = self._free[index]
+            buffer = free.pop() if free else None
+        if buffer is None:
+            self._miss.incr()
+            buffer = bytearray(_SIZE_CLASSES[index])
+        else:
+            self._hit.incr()
+        return buffer, index
+
+    def _recycle(self, lease: FrameLease) -> None:
+        if lease._class < 0:
+            return  # oversize one-shot buffer: let the GC have it
+        with self._lock:
+            free = self._free[lease._class]
+            if len(free) < _MAX_FREE_PER_CLASS:
+                free.append(lease.buffer)
+
+    def frame(self, payload) -> FrameLease:
+        """Assemble ``[len][payload]`` into a pooled buffer.
+
+        ``payload`` may be any buffer-protocol object (``bytes``,
+        ``bytearray``, ``memoryview``); it is copied exactly once, into
+        the pooled buffer, with no intermediate ``bytes``.
+        """
+        size = len(payload)
+        total = _LEN.size + size
+        buffer, index = self._acquire(total)
+        view = memoryview(buffer)
+        _LEN.pack_into(buffer, 0, size)
+        view[_LEN.size : total] = payload
+        return FrameLease(self, buffer, total, index)
+
+    def frame_many(self, payloads: Sequence) -> FrameLease:
+        """Assemble a coalesced batch of frames into one pooled buffer."""
+        total = sum(_LEN.size + len(p) for p in payloads)
+        buffer, index = self._acquire(total)
+        view = memoryview(buffer)
+        offset = 0
+        for payload in payloads:
+            size = len(payload)
+            _LEN.pack_into(buffer, offset, size)
+            offset += _LEN.size
+            view[offset : offset + size] = payload
+            offset += size
+        return FrameLease(self, buffer, total, index)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "free_buffers": sum(len(v) for v in self._free.values()),
+                "hits": self._hit.value,
+                "misses": self._miss.value,
+                "oversize": self._oversize.value,
+            }
+
+
+#: process-wide default pool shared by the transports.
+DEFAULT_POOL = BufferPool()

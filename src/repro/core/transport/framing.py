@@ -44,6 +44,10 @@ class FramingError(Exception):
 def frame_message(payload: bytes) -> bytes:
     """Prefix ``payload`` with its length.
 
+    ``payload`` may be any buffer-protocol object (``bytes``,
+    ``bytearray``, ``memoryview``): the join below copies it into the
+    frame exactly once with no intermediate ``bytes()`` materialization.
+
     With tracing enabled a ``frame`` span is recorded, adopting the
     correlation of the message encoded just before.
     """
@@ -52,10 +56,10 @@ def frame_message(payload: bytes) -> bytes:
     tracer = _TRACER
     if tracer.enabled:
         start = time.perf_counter()
-        frame = _LEN.pack(len(payload)) + payload
+        frame = b"".join((_LEN.pack(len(payload)), payload))
         tracer.record("frame", start, tracer.adopt_corr())
         return frame
-    return _LEN.pack(len(payload)) + payload
+    return b"".join((_LEN.pack(len(payload)), payload))
 
 
 def frame_messages(payloads: Iterable[bytes]) -> bytes:
@@ -96,8 +100,11 @@ class Framer:
         self._buffer = bytearray()
         self._pos = 0  # read cursor: bytes before it are consumed
 
-    def feed(self, chunk: bytes) -> List[bytes]:
+    def feed(self, chunk) -> List[bytes]:
         """Absorb ``chunk``; return every now-complete message.
+
+        ``chunk`` may be any buffer-protocol object; it is appended to
+        the receive buffer without an intermediate ``bytes()`` copy.
 
         With tracing enabled the deframe pass is recorded as a
         ``frame`` span (procedure ``deframe``); the bytes are not yet
@@ -125,7 +132,9 @@ class Framer:
                 end = pos + header + length
                 if end > limit:
                     break
-                messages.append(bytes(view[pos + header:end]))
+                # The one necessary copy: the frame must outlive the
+                # mutable receive buffer it is sliced from.
+                messages.append(bytes(view[pos + header:end]))  # repro-lint: disable=RL007
                 pos = end
         finally:
             view.release()

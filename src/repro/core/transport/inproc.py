@@ -42,6 +42,23 @@ from repro.core.transport.base import (
 from repro.metrics.trace import TRACER as _TRACER
 
 
+def _freeze(data) -> bytes:
+    """Pin a send payload to immutable ``bytes`` for the dispatch queue.
+
+    The queue (and the shard workers in sharded mode) hold the payload
+    after ``send`` returns, so mutable buffer-protocol inputs
+    (``bytearray``, writable ``memoryview``) must be copied — exactly
+    once, counted in ``bytes.copied``.  Immutable ``bytes`` pass
+    through untouched: the zero-copy fast path.
+    """
+    if type(data) is bytes:
+        return data
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        get_counter("bytes.copied").incr()
+        return bytes(data)  # repro-lint: disable=RL007 — queue outlives the caller's buffer
+    raise TypeError(f"send expects a bytes-like object, got {type(data).__name__}")
+
+
 class _InProcEndpoint(Endpoint):
     """One side of an in-process connection pair."""
 
@@ -70,13 +87,12 @@ class _InProcEndpoint(Endpoint):
             raise ConnectionError("endpoint closed")
         if self._other is None or self._other._closed:
             raise ConnectionError("peer closed")
-        if not isinstance(data, (bytes, bytearray)):
-            raise TypeError(f"send expects bytes, got {type(data).__name__}")
-        self.bytes_sent += len(data)
+        payload = _freeze(data)
+        self.bytes_sent += len(payload)
         self.messages_sent += 1
         other = self._other
         if self._transport._sharded:
-            self._transport._post_messages(self.shard, other, [bytes(data)])
+            self._transport._post_messages(self.shard, other, [payload])
             return
         tracer = _TRACER
         if tracer.enabled:
@@ -85,13 +101,13 @@ class _InProcEndpoint(Endpoint):
             # record their own spans.
             start = time.perf_counter()
             self._transport._queue.append(
-                lambda: other._events.on_message(other, bytes(data))
+                lambda: other._events.on_message(other, payload)
             )
             self._transport._dispatch_pressure.note_depth(len(self._transport._queue))
             tracer.record("send", start, tracer.adopt_corr(), node=self._peer_label)
             self._transport._drain()
             return
-        self._transport._enqueue(lambda: other._events.on_message(other, bytes(data)))
+        self._transport._enqueue(lambda: other._events.on_message(other, payload))
 
     def send_many(self, batch: Sequence[bytes]) -> None:
         if not batch:
@@ -102,10 +118,9 @@ class _InProcEndpoint(Endpoint):
             raise ConnectionError("peer closed")
         frozen = []
         for data in batch:
-            if not isinstance(data, (bytes, bytearray)):
-                raise TypeError(f"send expects bytes, got {type(data).__name__}")
-            self.bytes_sent += len(data)
-            frozen.append(bytes(data))
+            payload = _freeze(data)
+            self.bytes_sent += len(payload)
+            frozen.append(payload)
         self.messages_sent += len(frozen)
         other = self._other
         if self._transport._sharded:

@@ -27,8 +27,10 @@ from __future__ import annotations
 
 import errno
 import itertools
+import select
 import selectors
 import socket
+import struct
 import threading
 import time
 from typing import Callable, List, Optional, Sequence
@@ -42,9 +44,26 @@ from repro.core.transport.base import (
     Transport,
     TransportEvents,
 )
-from repro.core.transport.framing import Framer, FramingError, frame_message, frame_messages
+from repro.core.transport.bufpool import DEFAULT_POOL
+from repro.core.transport.framing import (
+    MAX_MESSAGE_BYTES,
+    Framer,
+    FramingError,
+    frame_messages,
+)
 from repro.metrics.counters import discard_counter, get_counter
 from repro.metrics.trace import TRACER as _TRACER
+
+_LEN = struct.Struct(">I")
+
+#: iovecs per ``sendmsg`` call — conservative versus any platform's
+#: IOV_MAX (Linux: 1024) while still coalescing a whole batch of small
+#: frames into a handful of syscalls.
+_IOV_BATCH = 64
+
+#: scatter-gather send support (absent on some exotic platforms; the
+#: coalesced-``bytes`` join path stays as the fallback).
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
 
 #: Kernel support for SO_REUSEPORT connection spreading.  Module-level
 #: (not inlined into the constructor) so tests and the multiprocess
@@ -103,16 +122,29 @@ class _TcpEndpoint(Endpoint):
     def send(self, data: bytes) -> None:
         if self._closed:
             raise ConnectionError("endpoint closed")
-        frame = frame_message(data)
+        if len(data) > MAX_MESSAGE_BYTES:
+            raise FramingError(f"message too large: {len(data)} B")
         tracer = _TRACER
+        # Frame into a pooled buffer: ``data`` may be any buffer-
+        # protocol object and is copied exactly once (into the pooled
+        # frame); sendall copies into the kernel buffer before the
+        # lease's buffer can be recycled.
+        if tracer.enabled:
+            frame_start = time.perf_counter()
+            lease = DEFAULT_POOL.frame(data)
+            tracer.record("frame", frame_start, tracer.adopt_corr())
+        else:
+            lease = DEFAULT_POOL.frame(data)
         trace_start = time.perf_counter() if tracer.enabled else 0.0
         # sendall under a lock: POSIX sockets are thread-safe but frame
         # interleaving from concurrent senders must still be prevented.
         try:
             with self._send_lock:
-                self._sock.sendall(frame)
+                self._sock.sendall(lease.view)
         except OSError as exc:
             raise self._send_failed(exc)
+        finally:
+            lease.release()
         if trace_start:
             tracer.record("send", trace_start, tracer.adopt_corr(), node=self._peer)
         self.bytes_sent += len(data)
@@ -123,19 +155,75 @@ class _TcpEndpoint(Endpoint):
             return
         if self._closed:
             raise ConnectionError("endpoint closed")
-        # One coalesced write: the peer's framer restores boundaries.
-        wire = frame_messages(batch)
         tracer = _TRACER
+        if _HAS_SENDMSG:
+            # Scatter-gather: the kernel walks [prefix, payload] iovec
+            # pairs straight out of the callers' buffers — no coalesced
+            # ``bytes`` materialization at all.
+            wire = None
+            if tracer.enabled:
+                frame_start = time.perf_counter()
+                iov = self._build_iov(batch)
+                tracer.record("frame", frame_start, tracer.adopt_corr())
+            else:
+                iov = self._build_iov(batch)
+        else:  # pragma: no cover - platforms without sendmsg
+            # One coalesced write: the peer's framer restores message
+            # boundaries.
+            iov = None
+            wire = frame_messages(batch)
         trace_start = time.perf_counter() if tracer.enabled else 0.0
         try:
             with self._send_lock:
-                self._sock.sendall(wire)
+                if iov is not None:
+                    vectored = get_counter("tcp.send.vectored")
+                    for start in range(0, len(iov), 2 * _IOV_BATCH):
+                        self._sendmsg_all(iov[start:start + 2 * _IOV_BATCH])
+                        vectored.incr()
+                else:  # pragma: no cover - platforms without sendmsg
+                    self._sock.sendall(wire)
         except OSError as exc:
             raise self._send_failed(exc)
         if trace_start:
             tracer.record("send", trace_start, tracer.adopt_corr(), node=self._peer)
         self.bytes_sent += sum(len(data) for data in batch)
         self.messages_sent += len(batch)
+
+    @staticmethod
+    def _build_iov(batch: Sequence[bytes]) -> List[bytes]:
+        """Interleave length prefixes with payloads for ``sendmsg``."""
+        iov: List[bytes] = []
+        for payload in batch:
+            if len(payload) > MAX_MESSAGE_BYTES:
+                raise FramingError(f"message too large: {len(payload)} B")
+            iov.append(_LEN.pack(len(payload)))
+            iov.append(payload)
+        return iov
+
+    def _sendmsg_all(self, buffers: List[bytes]) -> None:
+        """``sendmsg`` with partial-send continuation.
+
+        A short write leaves the tail of an iovec (or whole iovecs)
+        unsent; the remainder is re-submitted from where the kernel
+        stopped.  A full socket buffer waits briefly for writability —
+        abandoning mid-frame would corrupt the stream for the peer.
+        """
+        sock = self._sock
+        remaining: List[memoryview] = [memoryview(b) for b in buffers]
+        index = 0
+        while index < len(remaining):
+            try:
+                sent = sock.sendmsg(remaining[index:])
+            except (BlockingIOError, InterruptedError):
+                _readable, writable, _err = select.select([], [sock], [], 5.0)
+                if not writable:
+                    raise OSError(errno.ETIMEDOUT, "send stalled: socket unwritable for 5s")
+                continue
+            while index < len(remaining) and sent >= len(remaining[index]):
+                sent -= len(remaining[index])
+                index += 1
+            if sent and index < len(remaining):
+                remaining[index] = remaining[index][sent:]
 
     def _send_failed(self, exc: OSError) -> ConnectionError:
         """Account for a send-side death and tear the endpoint down."""

@@ -74,9 +74,27 @@ COUNTERS = frozenset(
         "server.worker.giveup",
         "server.worker.handoff",
         "server.policy.indications",
+        # shared-memory policy snapshots (DESIGN.md §15)
+        "server.policy.shm_publish",
+        "server.policy.shm_reads",
+        "server.policy.shm_fallback",
+        "server.policy.pickle_bytes",
+        "server.stats.push_skipped",
+        # zero-copy data plane (DESIGN.md §15)
+        "bytes.copied",
+        "encode.reuse",
+        "server.subscription.shared",
+        "e2ap.encode.messages",
+        "bufpool.lease.hit",
+        "bufpool.lease.miss",
+        "bufpool.lease.oversize",
+        "tcp.send.vectored",
         # asyncio client tier
         "aio.subscription.shed",
         "aio.loop_closed",
+        # asyncio-native server ingest (DESIGN.md §15)
+        "aio.server.connections",
+        "aio.server.frames",
         # fault injection
         "faulty.drop",
         "faulty.corrupt",
@@ -103,7 +121,7 @@ COUNTER_PATTERNS: Tuple[str, ...] = (
 )
 
 #: exact gauge names.
-GAUGES = frozenset({"server.workers"})
+GAUGES = frozenset({"server.workers", "server.policy.generation"})
 
 #: gauge name patterns.
 GAUGE_PATTERNS: Tuple[str, ...] = (

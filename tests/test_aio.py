@@ -9,7 +9,7 @@ import asyncio
 
 import pytest
 
-from repro.aio import AsyncAgent, AsyncE2Node, aio_connect
+from repro.aio import AioServer, AsyncAgent, AsyncE2Node, aio_connect
 from repro.aio.node import ControlRejected
 from repro.aio.agent import ControlFailed
 from repro.core.e2ap.ies import (
@@ -164,6 +164,69 @@ class TestAioTransport:
         finally:
             server.close()
             transport.stop()
+
+
+class TestAioServer:
+    """Asyncio-native ingest: no selector threads, same dispatch path."""
+
+    def test_async_ingest_end_to_end(self):
+        reset_all()
+        server = Server(ServerConfig(e2ap_codec="fb"))
+
+        async def scenario():
+            aio = AioServer(server)
+            await aio.start()
+            node = AsyncE2Node(make_node_id(), make_functions())
+            await node.connect("127.0.0.1", aio.port)
+            async with AsyncAgent(server) as ric:
+                agents = await ric.wait_agents(1)
+                sub = await ric.subscribe(
+                    agents[0].conn_id,
+                    ran_function_id=FN,
+                    actions=[RicActionDefinition(1, RicActionKind.REPORT)],
+                )
+                handle = await node.wait_subscription()
+                await node.emit_many(handle, [b"a%d" % i for i in range(8)])
+                got = []
+                async for indication in sub:
+                    got.append(indication.payload)
+                    if len(got) == 8:
+                        break
+                assert got == [b"a%d" % i for i in range(8)]
+                await sub.close()
+            await node.close()
+            await aio.stop()
+            counters = counter_values()
+            assert counters.get("aio.server.connections") == 1
+            assert counters.get("aio.server.frames", 0) >= 2
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            server.close()
+
+    def test_corrupt_frame_kills_connection(self):
+        server = Server(ServerConfig(e2ap_codec="fb"))
+
+        async def scenario():
+            aio = AioServer(server)
+            await aio.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", aio.port
+            )
+            # An absurd length prefix: the server must kill the link
+            # rather than resynchronize into garbage.
+            writer.write(b"\xff\xff\xff\xffgarbage")
+            await writer.drain()
+            data = await asyncio.wait_for(reader.read(), timeout=5.0)
+            assert data == b""
+            writer.close()
+            await aio.stop()
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            server.close()
 
 
 class TestAsyncNodeAgainstWorkers:

@@ -92,6 +92,25 @@ def test_per_octet_fragments_any_length(payload):
     assert codec.decode(codec.encode(payload)) == payload
 
 
+@given(tree=trees, pad=st.integers(min_value=0, max_value=7))
+@settings(max_examples=60, deadline=None)
+def test_decode_buffer_protocol_differential(tree, pad):
+    """memoryview/bytearray/offset-window inputs ≡ bytes, all codecs.
+
+    The zero-copy data plane hands decoders windows into larger receive
+    buffers; every lane must produce byte-identical trees for them.
+    """
+    for name in ("asn", "fb", "pb"):
+        codec = get_codec(name)
+        wire = codec.encode(tree)
+        want = materialize(codec.decode(wire))
+        assert materialize(codec.decode(memoryview(wire))) == want
+        assert materialize(codec.decode(bytearray(wire))) == want
+        padded = b"\x5a" * pad + wire + b"\xa5" * pad
+        window = memoryview(padded)[pad : pad + len(wire)]
+        assert materialize(codec.decode(window)) == want
+
+
 # ---------------------------------------------------------------------------
 # Differential sweep: generated kernels ≡ interpretive oracle (ISSUE 6)
 # ---------------------------------------------------------------------------

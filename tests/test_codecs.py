@@ -57,6 +57,25 @@ def test_roundtrip(codec_name, tree):
 
 
 @pytest.mark.parametrize("codec_name", ALL_CODECS)
+@pytest.mark.parametrize("tree", SAMPLE_TREES, ids=range(len(SAMPLE_TREES)))
+def test_decode_accepts_buffer_protocol_without_copy(codec_name, tree):
+    """memoryview/bytearray inputs decode identically to bytes — and the
+    zero-copy lane must not silently materialize them (bytes.copied)."""
+    from repro.metrics.counters import counter_values
+
+    codec = get_codec(codec_name)
+    wire = codec.encode(tree)
+    want = materialize(codec.decode(wire))
+    padded = b"\x00" * 3 + wire + b"\xff" * 2
+    window = memoryview(padded)[3 : 3 + len(wire)]
+    before = counter_values().get("bytes.copied", 0)
+    assert materialize(codec.decode(memoryview(wire))) == want
+    assert materialize(codec.decode(bytearray(wire))) == want
+    assert materialize(codec.decode(window)) == want
+    assert counter_values().get("bytes.copied", 0) == before
+
+
+@pytest.mark.parametrize("codec_name", ALL_CODECS)
 def test_rejects_foreign_types(codec_name):
     codec = get_codec(codec_name)
     with pytest.raises(CodecError):

@@ -584,6 +584,61 @@ class TestBaseline:
         assert load_baseline(path)["abcd" * 4]["comment"] == "kept on purpose"
 
 
+class TestRL007HotPathBytesCopy:
+    HOT = "src/repro/core/transport/framing.py"
+
+    def test_bytes_of_view_flagged_in_hot_path(self, tmp_path):
+        findings, _ = run_lint(
+            tmp_path,
+            self.HOT,
+            """
+            def feed(chunk):
+                view = memoryview(chunk)
+                return bytes(view)
+            """,
+        )
+        assert codes(findings) == ["RL007"]
+        assert "materializes" in findings[0].message
+
+    def test_pragma_with_reason_suppresses(self, tmp_path):
+        findings, suppressed = run_lint(
+            tmp_path,
+            self.HOT,
+            """
+            def feed(chunk):
+                return bytes(chunk)  # repro-lint: disable=RL007 — queue outlives the caller's buffer
+            """,
+        )
+        assert findings == []
+        assert codes(suppressed) == ["RL007"]
+
+    def test_allocations_and_literals_clean(self, tmp_path):
+        findings, _ = run_lint(
+            tmp_path,
+            self.HOT,
+            """
+            zeros = bytes(16)
+            empty = bytes()
+            lit = bytes(b"already-bytes")
+            decoded = bytes("x", "utf-8")
+            """,
+        )
+        assert findings == []
+
+    def test_cold_modules_out_of_scope(self, tmp_path):
+        # The same construct outside the hot-path scope is fine: cold
+        # paths may materialize freely.
+        findings, _ = run_lint(
+            tmp_path,
+            "src/repro/core/server/server.py",
+            """
+            def snapshot(view):
+                return bytes(view)
+            """,
+        )
+        assert findings == []
+
+
 class TestCli:
     def test_json_output(self, tmp_path, capsys):
         mod = tmp_path / "src" / "repro" / "mod.py"
@@ -601,9 +656,11 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        for code in (
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        ):
             assert code in out
-        assert set(RULES) == {f"RL00{i}" for i in range(1, 7)}
+        assert set(RULES) == {f"RL00{i}" for i in range(1, 8)}
 
     def test_rules_subset_and_unknown(self, tmp_path, capsys):
         mod = tmp_path / "src" / "repro" / "mod.py"

@@ -613,6 +613,111 @@ class TestMultiProcServer:
             client.stop()
             mp.stop()
 
+    def test_shm_snapshot_zero_pickled_bytes_in_steady_state(self):
+        """Policy publication rides the shared-memory segment: pipes
+        carry only generation nudges, counter-verified."""
+        reset_all()
+        mp = MultiProcServer(ServerConfig(shards=1, workers=2), port=0)
+        client = TcpTransport(shards=1)
+        try:
+            mp.start()
+            client.start()
+            mp.subscribe_all(_worker_policy())
+            _settled_agents(client, mp.address, 2)
+            # The parent published via the segment, never the pipes.
+            assert counter_values().get("server.policy.shm_publish", 0) >= 1
+            assert counter_values().get("server.policy.pickle_bytes", 0) == 0
+            assert gauge_values().get("server.policy.generation", 0) >= 2
+            # Workers served themselves from the segment, loudly counted.
+            assert _wait(
+                lambda: mp.merged_counters().get("server.policy.shm_reads", 0)
+                >= 2,
+                timeout=15.0,
+            )
+            assert (
+                mp.merged_counters(refresh=False).get(
+                    "server.policy.shm_fallback", 0
+                )
+                == 0
+            )
+        finally:
+            client.stop()
+            mp.stop()
+        # The segment is unlinked and the generation gauge discarded.
+        assert "server.policy.generation" not in gauge_values()
+
+    def test_shm_generation_survives_worker_kill_and_respawn(self):
+        """Chaos: the segment is parent-owned, so any number of worker
+        deaths keeps the generation; respawns resync via one nudge."""
+        reset_all()
+        mp = MultiProcServer(ServerConfig(shards=1, workers=2), port=0)
+        client = TcpTransport(shards=1)
+        try:
+            mp.start()
+            client.start()
+            mp.subscribe_all(_worker_policy())
+            _settled_agents(client, mp.address, 2)
+            generation = gauge_values().get("server.policy.generation")
+            assert generation and generation >= 2
+
+            mp.kill_worker(0)
+            assert _wait(lambda: mp.restarts >= 1, timeout=15.0)
+            assert _wait(
+                lambda: all(
+                    handle.ready.is_set() and handle.process.is_alive()
+                    for handle in mp._handles.values()
+                ),
+                timeout=15.0,
+            ), "respawned worker never came up"
+            # Same segment, same generation — the snapshot did not have
+            # to be republished, and still zero pickled policy bytes.
+            assert gauge_values().get("server.policy.generation") == generation
+            assert counter_values().get("server.policy.pickle_bytes", 0) == 0
+
+            # The respawned worker reads the surviving segment: a late
+            # agent (landing on either worker) still gets subscribed.
+            late = TcpMiniAgent(client, mp.address, nb_id=88)
+            assert late.ready.wait(10.0)
+            assert late.subscribed.wait(10.0)
+            late.blast(50)
+            assert _wait(lambda: mp.total_indications() >= 50, timeout=15.0)
+
+            # Zero control-class loss across the crash/restart cycle.
+            merged = mp.merged_counters()
+            for name, value in merged.items():
+                if name.startswith("overload.drop.control"):
+                    assert value == 0, f"{name}={value}"
+        finally:
+            client.stop()
+            mp.stop()
+
+    def test_shm_unavailable_falls_back_to_pickled_pipes(self, monkeypatch):
+        """Loud fallback: no segment -> the pickled pipe path carries
+        policies, counted in shm_fallback and pickle_bytes."""
+        reset_all()
+        from repro.core.server import workers as workers_mod
+
+        def no_shm(*args, **kwargs):
+            raise OSError("shared memory unavailable")
+
+        monkeypatch.setattr(workers_mod, "SnapshotWriter", no_shm)
+        mp = MultiProcServer(ServerConfig(shards=1, workers=2), port=0)
+        client = TcpTransport(shards=1)
+        try:
+            mp.start()
+            client.start()
+            assert counter_values().get("server.policy.shm_fallback") == 1
+            mp.subscribe_all(_worker_policy())
+            agents = _settled_agents(client, mp.address, 2)
+            # Policies still arrive — over the pipes, loudly counted.
+            assert counter_values().get("server.policy.pickle_bytes", 0) > 0
+            assert "server.policy.generation" not in gauge_values()
+            agents[0].blast(30)
+            assert _wait(lambda: mp.total_indications() >= 30, timeout=15.0)
+        finally:
+            client.stop()
+            mp.stop()
+
     def test_reuseport_fallback_accept_handoff(self, monkeypatch):
         reset_all()
         monkeypatch.setattr(tcp_mod, "_HAS_REUSEPORT", False)

@@ -103,6 +103,61 @@ class TestFraming:
         assert framer.pending_bytes == 0
 
 
+class TestZeroCopyFraming:
+    """Buffer-protocol inputs flow through without implicit bytes()."""
+
+    @staticmethod
+    def _copies():
+        from repro.metrics.counters import counter_values
+
+        return counter_values().get("bytes.copied", 0)
+
+    def test_feed_accepts_views_without_copy(self):
+        payloads = [b"alpha", b"", b"g" * 5000]
+        wire = frame_messages(payloads)
+        for convert in (memoryview, bytearray):
+            framer = Framer()
+            before = self._copies()
+            assert framer.feed(convert(wire)) == payloads
+            assert self._copies() == before
+
+    def test_feed_view_chunks_split_across_calls(self):
+        framer = Framer()
+        wire = frame_messages([b"abcdef"])
+        view = memoryview(wire)
+        assert framer.feed(view[:3]) == []
+        assert framer.feed(view[3:]) == [b"abcdef"]
+        assert framer.pending_bytes == 0
+
+    def test_feed_offset_window_into_larger_buffer(self):
+        framer = Framer()
+        wire = frame_messages([b"payload-x", b"payload-y"])
+        padded = bytearray(b"\x00" * 5 + wire + b"\xff" * 3)
+        window = memoryview(padded)[5 : 5 + len(wire)]
+        before = self._copies()
+        assert framer.feed(window) == [b"payload-x", b"payload-y"]
+        assert self._copies() == before
+
+    def test_inproc_send_counts_exactly_one_copy_for_views(self):
+        from repro.metrics.counters import counter_values
+
+        transport = InProcTransport()
+        got = []
+        transport.listen("zc", TransportEvents(on_message=lambda e, d: got.append(d)))
+        endpoint = transport.connect("zc", TransportEvents())
+        payload = bytearray(b"mutable-source")
+        before = counter_values().get("bytes.copied", 0)
+        endpoint.send(memoryview(payload))
+        assert counter_values().get("bytes.copied", 0) == before + 1
+        endpoint.send(b"immutable")  # bytes pass through uncounted
+        assert counter_values().get("bytes.copied", 0) == before + 1
+        assert got == [b"mutable-source", b"immutable"]
+        # The queue owns a frozen copy: mutating the source afterwards
+        # must not reach a consumer that drains later.
+        payload[:7] = b"clobber"
+        assert got[0] == b"mutable-source"
+
+
 class TestInProc:
     def test_listen_connect_deliver(self):
         transport = InProcTransport()
