@@ -53,6 +53,10 @@ class _AioServerEndpoint(Endpoint):
         self._transport = transport
         self._peer = peer
         self._closed = False
+        #: resolved by connection_lost after on_disconnected reached
+        #: the server; AioServer.stop() awaits these so teardown is
+        #: observed, not raced.
+        self.closed_fut: asyncio.Future = loop.create_future()
 
     def _write(self, wire: bytes) -> None:
         if not self._closed and not self._transport.is_closing():
@@ -101,6 +105,11 @@ class _AioServerProtocol(asyncio.Protocol):
         self._events: TransportEvents = owner._events
         self._framer = Framer()
         self._endpoint: Optional[_AioServerEndpoint] = None
+        #: per-connection pending disconnect reason (set on a local
+        #: protocol-error close, consumed by connection_lost) — kept on
+        #: the protocol so concurrent failing connections cannot
+        #: misattribute each other's reasons.
+        self._disconnect_reason: Optional[DisconnectReason] = None
 
     def connection_made(self, transport: asyncio.BaseTransport) -> None:
         sock = transport.get_extra_info("socket")
@@ -125,7 +134,7 @@ class _AioServerProtocol(asyncio.Protocol):
             # Same contract as the sync shard loop: never resynchronize
             # into garbage after a corrupt length prefix.
             get_counter("tcp.close.framing").incr()
-            self._owner._disconnect_reason = DisconnectReason(
+            self._disconnect_reason = DisconnectReason(
                 DisconnectReason.PROTOCOL, str(exc)
             )
             endpoint.close()
@@ -150,10 +159,10 @@ class _AioServerProtocol(asyncio.Protocol):
         if endpoint is None:  # pragma: no cover - never connected
             return
         if endpoint.closed:
-            reason = self._owner._disconnect_reason or DisconnectReason(
+            reason = self._disconnect_reason or DisconnectReason(
                 DisconnectReason.LOCAL
             )
-            self._owner._disconnect_reason = None
+            self._disconnect_reason = None
         elif exc is None:
             reason = DisconnectReason(DisconnectReason.EOF)
         elif isinstance(exc, ConnectionResetError):
@@ -163,6 +172,8 @@ class _AioServerProtocol(asyncio.Protocol):
         endpoint._closed = True
         self._owner._untrack(endpoint)
         self._events.on_disconnected(endpoint, reason)
+        if not endpoint.closed_fut.done():
+            endpoint.closed_fut.set_result(None)
 
 
 class AioServer:
@@ -194,7 +205,6 @@ class AioServer:
         self._endpoints: set = set()
         self._endpoints_lock = threading.Lock()
         self._port: Optional[int] = None
-        self._disconnect_reason: Optional[DisconnectReason] = None
         overload = getattr(server, "overload", None)
         self._pressure: Optional[QueuePressure] = (
             QueuePressure("aio.server", overload, frame_classifier(server.codec))
@@ -224,9 +234,15 @@ class AioServer:
             endpoints = list(self._endpoints)
         for endpoint in endpoints:
             endpoint.close()
-        # Let the transport close callbacks run so connection_lost
-        # fires (and on_disconnected reaches the server) before return.
-        await asyncio.sleep(0)
+        # Each close is deferred via call_soon_threadsafe and the
+        # transport delivers connection_lost on a later loop iteration,
+        # so wait on the per-connection closed futures: on_disconnected
+        # has reached the server for every connection before return.
+        pending = [ep.closed_fut for ep in endpoints if not ep.closed_fut.done()]
+        if pending:
+            _done, still_open = await asyncio.wait(pending, timeout=5.0)
+            if still_open:  # pragma: no cover - transport never closed
+                get_counter("transport.stop.stuck").incr()
         if self._pressure is not None:
             self._pressure.discard_gauges()
 

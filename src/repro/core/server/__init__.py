@@ -16,7 +16,12 @@ Fig. 8a):
 
 from repro.core.server.events import EventBus
 from repro.core.server.randb import AgentRecord, RanDatabase, RanEntity
-from repro.core.server.submgr import SubscriptionCallbacks, SubscriptionManager, SubscriptionRecord
+from repro.core.server.submgr import (
+    SinkHandle,
+    SubscriptionCallbacks,
+    SubscriptionManager,
+    SubscriptionRecord,
+)
 from repro.core.server.iapp import IApp
 from repro.core.server.server import IndicationEvent, Server, ServerConfig
 
@@ -25,6 +30,7 @@ __all__ = [
     "AgentRecord",
     "RanDatabase",
     "RanEntity",
+    "SinkHandle",
     "SubscriptionCallbacks",
     "SubscriptionManager",
     "SubscriptionRecord",

@@ -58,6 +58,7 @@ from repro.core.server.events import EventBus
 from repro.core.server.iapp import IApp
 from repro.core.server.randb import AgentRecord, RanDatabase, RanEntity
 from repro.core.server.submgr import (
+    SinkHandle,
     SubscriptionCallbacks,
     SubscriptionManager,
     SubscriptionRecord,
@@ -411,7 +412,7 @@ class Server:
         actions: List[RicActionDefinition],
         callbacks: SubscriptionCallbacks,
         requestor_id: Optional[int] = None,
-    ) -> SubscriptionRecord:
+    ) -> "SubscriptionRecord | SinkHandle":
         """Send a subscription request on behalf of an iApp/xApp.
 
         Under overload discipline a subscription storm past the token
@@ -423,9 +424,12 @@ class Server:
         With ``shared_subscriptions`` (default) a request whose wire
         parameters match a live subscription never reaches the agent:
         the callbacks attach as an extra sink on the existing record
-        and the shared record is returned.  Admission still gates the
-        call (a storm of duplicates is still a storm), but the pending
-        slot is released immediately — no wire confirm is outstanding.
+        and a :class:`SinkHandle` (attribute-compatible with the
+        record) identifying this subscriber is returned — pass it back
+        to :meth:`unsubscribe` to detach exactly this sink.  Admission
+        still gates the call (a storm of duplicates is still a storm),
+        but the pending slot is released immediately — no wire confirm
+        is outstanding.
         """
         admission = self.admission
         if admission is not None and not admission.admit_subscription():
@@ -475,12 +479,15 @@ class Server:
         self._send(conn_id, request)
         return record
 
-    def unsubscribe(self, record: SubscriptionRecord) -> None:
+    def unsubscribe(self, record: "SubscriptionRecord | SinkHandle") -> None:
         """Request deletion of an existing subscription.
 
-        A shared record sheds its extra sinks first (most recent
-        first); the wire delete goes out only when the last sink is
-        gone, so other iApps riding the subscription keep receiving.
+        Pass back whatever :meth:`subscribe` returned: a
+        :class:`SinkHandle` detaches exactly that subscriber's sink,
+        and the primary record hands the subscription to the earliest
+        remaining sink.  The wire delete goes out only when the last
+        subscriber is gone, so other iApps riding the subscription
+        keep receiving.
         """
         if self.submgr.detach_sink(record):
             return

@@ -86,6 +86,28 @@ class SubscriptionRecord:
     response: Optional["RicSubscriptionResponse"] = None
 
 
+class SinkHandle:
+    """Per-attach handle onto a shared :class:`SubscriptionRecord`.
+
+    Returned by :meth:`SubscriptionManager.attach_sink` (and therefore
+    by ``Server.subscribe`` when a request rides an existing wire
+    subscription).  The handle remembers *which* callbacks this
+    subscriber attached, so ``unsubscribe`` detaches exactly that sink
+    — not an arbitrary one.  Attribute reads delegate to the shared
+    record, so callers can keep treating the return value of
+    ``subscribe`` as a record (``.request``, ``.confirmed``, ...).
+    """
+
+    __slots__ = ("record", "sink")
+
+    def __init__(self, record: SubscriptionRecord, sink: SubscriptionCallbacks) -> None:
+        self.record = record
+        self.sink = sink
+
+    def __getattr__(self, name):
+        return getattr(self.record, name)
+
+
 @cow_snapshot("_route")
 class SubscriptionManager:
     """Mints request ids, tracks records, dispatches by key."""
@@ -141,14 +163,22 @@ class SubscriptionManager:
         return self._route.get((requestor_id, instance_id))
 
     def confirm(self, response: RicSubscriptionResponse) -> Optional[SubscriptionRecord]:
-        record = self._records.get(response.request.as_tuple())
-        if record is None:
-            return None
-        record.confirmed = True
-        record.response = response
+        # The confirmed/response flip and the sink snapshot happen
+        # atomically under _lock so a concurrently attaching sink gets
+        # on_success exactly once: either it appended before this
+        # snapshot (notified below) or it appended after, in which case
+        # attach_sink observed confirmed=True and replays the stored
+        # response itself.
+        with self._lock:
+            record = self._records.get(response.request.as_tuple())
+            if record is None:
+                return None
+            record.response = response
+            record.confirmed = True
+            sinks = list(record.extra_sinks)
         if record.callbacks.on_success is not None:
             record.callbacks.on_success(response)
-        for sink in record.extra_sinks:
+        for sink in sinks:
             if sink.on_success is not None:
                 sink.on_success(response)
         return record
@@ -157,11 +187,12 @@ class SubscriptionManager:
         with self._lock:
             record = self._records.pop(failure.request.as_tuple(), None)
             self._publish()
+            sinks = list(record.extra_sinks) if record is not None else []
         if record is None:
             return None
         if record.callbacks.on_failure is not None:
             record.callbacks.on_failure(failure)
-        for sink in record.extra_sinks:
+        for sink in sinks:
             if sink.on_failure is not None:
                 sink.on_failure(failure)
         return record
@@ -203,29 +234,60 @@ class SubscriptionManager:
 
     def attach_sink(
         self, record: SubscriptionRecord, callbacks: SubscriptionCallbacks
-    ) -> SubscriptionRecord:
+    ) -> SinkHandle:
         """Add an extra sink to a shared record (no wire traffic).
 
         A sink attaching after the wire subscription confirmed gets the
         stored response replayed, so its ``on_success`` contract holds.
+        The append and the confirmed check are one atomic step under
+        ``_lock``, pairing with :meth:`confirm`'s locked snapshot: the
+        sink is notified by exactly one of the two paths.
         """
         with self._lock:
             record.extra_sinks.append(callbacks)
+            replay = record.confirmed and record.response is not None
+            response = record.response
         get_counter("server.subscription.shared").incr()
-        if record.confirmed and record.response is not None and callbacks.on_success is not None:
-            callbacks.on_success(record.response)
-        return record
+        if replay and callbacks.on_success is not None:
+            callbacks.on_success(response)
+        return SinkHandle(record, callbacks)
 
-    def detach_sink(self, record: SubscriptionRecord) -> bool:
-        """Drop the most recently attached extra sink (LIFO).
+    def detach_sink(self, handle) -> bool:
+        """Detach one subscriber from a shared record.
 
-        Returns True when a sink was detached — the wire subscription
-        stays up for the remaining sinks.  False means no extra sinks
-        remain and the caller owns the actual wire delete.
+        ``handle`` is either the :class:`SinkHandle` an attach returned
+        (detaches exactly that sink) or the plain
+        :class:`SubscriptionRecord` the primary subscriber holds (the
+        earliest-attached extra sink, if any, is promoted to primary so
+        the wire subscription survives the primary leaving).
+
+        Returns True when the wire subscription stays up for remaining
+        subscribers; False means this was the last one and the caller
+        owns the actual wire delete.
         """
         with self._lock:
+            if isinstance(handle, SinkHandle):
+                record = handle.record
+                for i, sink in enumerate(record.extra_sinks):
+                    if sink is handle.sink:
+                        # New list, never in-place: deliver_indication
+                        # iterates extra_sinks lock-free.
+                        record.extra_sinks = (
+                            record.extra_sinks[:i] + record.extra_sinks[i + 1 :]
+                        )
+                        return True
+                if record.callbacks is not handle.sink:
+                    # Already detached (double unsubscribe) and someone
+                    # else owns the record: nothing to tear down.
+                    return True
+            else:
+                record = handle
+            # Primary leaving: promote the earliest-attached sink so
+            # the subscribers still riding the record keep receiving.
             if record.extra_sinks:
-                record.extra_sinks.pop()
+                promoted = record.extra_sinks[0]
+                record.extra_sinks = record.extra_sinks[1:]
+                record.callbacks = promoted
                 return True
         return False
 
@@ -278,10 +340,11 @@ class SubscriptionManager:
         with self._lock:
             record = self._records.pop(response.request.as_tuple(), None)
             self._publish()
+            sinks = list(record.extra_sinks) if record is not None else []
         if record is not None:
             if record.callbacks.on_deleted is not None:
                 record.callbacks.on_deleted(response)
-            for sink in record.extra_sinks:
+            for sink in sinks:
                 if sink.on_deleted is not None:
                     sink.on_deleted(response)
         return record
@@ -331,8 +394,12 @@ class SubscriptionManager:
         with self._lock:
             self._records.pop(record.request.as_tuple(), None)
             self._publish()
+            sinks = list(record.extra_sinks)
         if record.callbacks.on_failure is not None:
             record.callbacks.on_failure(failure)
+        for sink in sinks:
+            if sink.on_failure is not None:
+                sink.on_failure(failure)
 
     def parked_records(self) -> List[SubscriptionRecord]:
         return [record for record in self._records.values() if record.parked]

@@ -401,6 +401,19 @@ class _WorkerHandle:
         except (OSError, BrokenPipeError, ValueError):
             return False
 
+    def send_pickled(self, wire: bytes) -> bool:
+        """Send an already-pickled message (``conn.recv`` unpickles it).
+
+        Lets a broadcast serialize a large snapshot once and push the
+        same buffer to every worker instead of re-pickling per pipe.
+        """
+        try:
+            with self.send_lock:
+                self.conn.send_bytes(wire)
+            return True
+        except (OSError, BrokenPipeError, ValueError):
+            return False
+
 
 _FORK_GUARD_INSTALLED = False
 
@@ -670,10 +683,11 @@ class MultiProcServer:
                 for handle in targets:
                     handle.send(("policy_gen", generation))
                 return
-        pickled = len(pickle.dumps(snapshot))
-        get_counter("server.policy.pickle_bytes").incr(pickled * len(targets))
+        # Pickle the full message once; every pipe gets the same buffer.
+        wire = pickle.dumps(("policies", snapshot))
+        get_counter("server.policy.pickle_bytes").incr(len(wire) * len(targets))
         for handle in targets:
-            handle.send(("policies", snapshot))
+            handle.send_pickled(wire)
 
     # -- supervision -------------------------------------------------
 
@@ -732,20 +746,18 @@ class MultiProcServer:
             with self._lock:
                 snapshot = list(self._policies.values())
             if snapshot:
-                get_counter("server.policy.pickle_bytes").incr(
-                    len(pickle.dumps(snapshot))
-                )
-                handle.send(("policies", snapshot))
+                wire = pickle.dumps(("policies", snapshot))
+                get_counter("server.policy.pickle_bytes").incr(len(wire))
+                handle.send_pickled(wire)
         elif kind == "need_policies":
             # Worker could not serve itself from the shm segment
             # (unreadable, torn, or unpicklable payload): answer with
             # the pickled pipe path, loudly counted.
             with self._lock:
                 snapshot = list(self._policies.values())
-            get_counter("server.policy.pickle_bytes").incr(
-                len(pickle.dumps(snapshot))
-            )
-            handle.send(("policies", snapshot))
+            wire = pickle.dumps(("policies", snapshot))
+            get_counter("server.policy.pickle_bytes").incr(len(wire))
+            handle.send_pickled(wire)
         elif kind == "stats":
             _kind, _index, seq, payload = msg
             with self._stats_cond:

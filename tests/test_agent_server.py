@@ -201,6 +201,85 @@ class TestSubscription:
         function.pump()  # must not raise
 
 
+class TestSharedSubscriptions:
+    """Single-encode fan-out: several iApps riding one wire subscription."""
+
+    def _wire_mac(self):
+        function = MacStatsFunction(provider=synthetic_provider(1), sm_codec="fb")
+        _t, server, agent = wire(functions=[function])
+        agent.connect("ric")
+        return function, server, server.agents()[0].conn_id
+
+    def _subscribe(self, server, conn_id, callbacks):
+        return server.subscribe(
+            conn_id=conn_id,
+            ran_function_id=MAC.default_function_id,
+            event_trigger=PeriodicTrigger(1.0).to_bytes("fb"),
+            actions=[RicActionDefinition(1, RicActionKind.REPORT)],
+            callbacks=SubscriptionCallbacks(on_indication=callbacks),
+        )
+
+    def test_identical_subscribe_shares_wire_record(self):
+        function, server, conn = self._wire_mac()
+        a, b = [], []
+        record = self._subscribe(server, conn, a.append)
+        handle = self._subscribe(server, conn, b.append)
+        assert len(function.subscriptions) == 1
+        assert len(server.submgr) == 1
+        assert handle.request == record.request  # delegates to the record
+        function.pump()
+        assert len(a) == 1 and len(b) == 1
+
+    def test_unsubscribe_detaches_only_the_caller(self):
+        """Regression: with A primary and B attached, A unsubscribing
+        must stop A — not silently detach B (the old LIFO pop)."""
+        function, server, conn = self._wire_mac()
+        a, b = [], []
+        record_a = self._subscribe(server, conn, a.append)
+        self._subscribe(server, conn, b.append)
+        server.unsubscribe(record_a)
+        assert len(function.subscriptions) == 1  # wire stays up for B
+        function.pump()
+        assert a == []
+        assert len(b) == 1
+
+    def test_sink_handle_detaches_exactly_that_sink(self):
+        function, server, conn = self._wire_mac()
+        a, b, c = [], [], []
+        self._subscribe(server, conn, a.append)
+        handle_b = self._subscribe(server, conn, b.append)
+        self._subscribe(server, conn, c.append)
+        server.unsubscribe(handle_b)
+        function.pump()
+        assert len(a) == 1 and len(c) == 1
+        assert b == []
+
+    def test_last_subscriber_owns_the_wire_delete(self):
+        function, server, conn = self._wire_mac()
+        a, b = [], []
+        record_a = self._subscribe(server, conn, a.append)
+        handle_b = self._subscribe(server, conn, b.append)
+        server.unsubscribe(record_a)  # promotes B
+        assert len(function.subscriptions) == 1
+        server.unsubscribe(handle_b)  # B was promoted: real delete
+        assert len(function.subscriptions) == 0
+        assert len(server.submgr) == 0
+
+    def test_late_attach_replays_confirm(self):
+        _function, server, conn = self._wire_mac()
+        confirms = []
+        self._subscribe(server, conn, lambda _e: None)
+        server.subscribe(
+            conn_id=conn,
+            ran_function_id=MAC.default_function_id,
+            event_trigger=PeriodicTrigger(1.0).to_bytes("fb"),
+            actions=[RicActionDefinition(1, RicActionKind.REPORT)],
+            callbacks=SubscriptionCallbacks(on_success=confirms.append),
+        )
+        assert len(confirms) == 1
+        assert isinstance(confirms[0], RicSubscriptionResponse)
+
+
 class TestControl:
     def test_control_ack(self):
         function = HwRanFunction(sm_codec="fb")
